@@ -1,0 +1,79 @@
+#include "bench_util.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+
+#include "common/check.h"
+
+namespace clover::bench {
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      CLOVER_CHECK_MSG(i + 1 < argc, "missing value for " << arg);
+      return argv[++i];
+    };
+    if (arg == "--hours") {
+      flags.hours = std::stod(next());
+    } else if (arg == "--gpus") {
+      flags.gpus = std::stoi(next());
+    } else if (arg == "--seed") {
+      flags.seed = std::stoull(next());
+    } else if (arg == "--out") {
+      flags.out_dir = next();
+    } else if (arg == "--help") {
+      std::cout << "flags: --hours H --gpus N --seed S --out DIR\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << arg << " (see --help)\n";
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+carbon::CarbonTrace EvalTrace(carbon::TraceProfile profile,
+                              const Flags& flags) {
+  carbon::TraceGeneratorOptions options;
+  options.duration_hours = flags.hours;
+  options.seed = flags.seed + 41;  // independent of simulation streams
+  return GenerateTrace(profile, options);
+}
+
+std::vector<core::RunReport> RunAll(
+    const std::vector<core::ExperimentConfig>& configs, int parallelism) {
+  std::vector<core::RunReport> reports(configs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    core::ExperimentHarness harness(&models::DefaultZoo());
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= configs.size()) return;
+      reports[index] = harness.Run(configs[index]);
+    }
+  };
+  const int threads = std::max(1, parallelism);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return reports;
+}
+
+std::string OutPath(const Flags& flags, const std::string& file) {
+  std::filesystem::create_directories(flags.out_dir);
+  return flags.out_dir + "/" + file;
+}
+
+void PrintBanner(const std::string& exhibit, const Flags& flags) {
+  std::cout << "==== " << exhibit << " ====\n"
+            << "trace span " << flags.hours << " h | " << flags.gpus
+            << " GPUs | seed " << flags.seed << "\n\n";
+}
+
+}  // namespace clover::bench

@@ -1,0 +1,36 @@
+// Fig. 1: the 19 MIG configurations of an A100 and the five slice types.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mig/mig_config.h"
+
+int main(int argc, char** argv) {
+  using namespace clover;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintBanner("Fig. 1 — MIG slice types and the 19 configurations",
+                     flags);
+
+  TextTable slice_table({"slice", "compute slots", "memory slices", "GB"});
+  for (mig::SliceType type : mig::kAllSliceTypes)
+    slice_table.AddRow({std::string(mig::Name(type)),
+                        std::to_string(mig::ComputeSlots(type)),
+                        std::to_string(mig::MemorySlices(type)),
+                        TextTable::Num(mig::MemoryGb(type), 0)});
+  slice_table.Print(std::cout);
+  std::cout << '\n';
+
+  TextTable layout_table(
+      {"config", "layout", "slices", "compute", "memory"});
+  for (const mig::MigLayout& layout : mig::MigConfigTable::Get().layouts()) {
+    const mig::SliceCounts counts = layout.Counts();
+    layout_table.AddRow({std::to_string(layout.id), layout.ToString(),
+                         std::to_string(layout.NumSlices()),
+                         std::to_string(mig::TotalComputeSlots(counts)),
+                         std::to_string(mig::TotalMemorySlices(counts))});
+  }
+  layout_table.Print(std::cout);
+  std::cout << "\nanchors: #1 full GPU, #3 {4g,2g,1g}, #10 {1g,1g,2g,3g}, "
+               "#19 seven 1g (paper Fig. 1 / Sec. 2).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 11: the optimization objective (Eq. 3) of each scheme over the 48 h
+// trace, per application. Prints hourly series to CSV and a per-scheme
+// summary including the Clover-vs-Oracle tracking gap at hours 0/24/48.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace clover;
+  bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintBanner("Fig. 11 — objective over time (CISO March)", flags);
+
+  const carbon::CarbonTrace trace =
+      bench::EvalTrace(carbon::TraceProfile::kCisoMarch, flags);
+  const std::vector<core::Scheme> schemes = {
+      core::Scheme::kCo2Opt, core::Scheme::kBlover, core::Scheme::kClover,
+      core::Scheme::kOracle};
+
+  std::vector<core::ExperimentConfig> configs;
+  for (models::Application app :
+       {models::Application::kDetection, models::Application::kLanguage,
+        models::Application::kClassification}) {
+    for (core::Scheme scheme : schemes) {
+      core::ExperimentConfig config;
+      config.app = app;
+      config.scheme = scheme;
+      config.trace = &trace;
+      config.duration_hours = flags.hours;
+      config.num_gpus = flags.gpus;
+      config.sizing_gpus = flags.gpus;
+      config.seed = flags.seed;
+      configs.push_back(config);
+    }
+  }
+  const auto reports = bench::RunAll(configs);
+
+  CsvWriter csv(bench::OutPath(flags, "fig11_objective.csv"),
+                {"application", "scheme", "hour", "objective"});
+  for (std::size_t a = 0; a < 3; ++a) {
+    std::cout << models::ApplicationName(reports[a * schemes.size()].app)
+              << ":\n";
+    TextTable table({"scheme", "mean objective", "objective @0h", "@24h",
+                     "@end"});
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+      const core::RunReport& report = reports[a * schemes.size() + s];
+      RunningStats stats;
+      const std::size_t windows_per_hour = static_cast<std::size_t>(
+          3600.0 / 300.0);
+      for (std::size_t w = 0; w < report.objective_series.size(); ++w) {
+        stats.Add(report.objective_series[w]);
+        if (w % windows_per_hour == 0)
+          csv.WriteRow(std::vector<std::string>{
+              std::string(models::ApplicationName(report.app)),
+              std::string(core::SchemeName(report.scheme)),
+              std::to_string(w / windows_per_hour),
+              std::to_string(report.objective_series[w])});
+      }
+      auto at_hour = [&](double hour) {
+        const std::size_t w = std::min(
+            report.objective_series.size() - 1,
+            static_cast<std::size_t>(hour * windows_per_hour));
+        return report.objective_series[w];
+      };
+      table.AddRow({std::string(core::SchemeName(report.scheme)),
+                    TextTable::Num(stats.mean(), 2),
+                    TextTable::Num(at_hour(0.5), 2),
+                    TextTable::Num(at_hour(flags.hours / 2.0), 2),
+                    TextTable::Num(at_hour(flags.hours - 0.5), 2)});
+    }
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "paper: CLOVER's objective closely follows ORACLE (largest "
+               "gap at hour 0, shrinking by hour 24/48 as the evaluation\n"
+               "cache warms); BLOVER trails CLOVER; CO2OPT is flat and "
+               "lowest when intensity is low.\ncsv: "
+            << csv.path() << "\n";
+  return 0;
+}

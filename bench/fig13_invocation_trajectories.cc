@@ -1,0 +1,75 @@
+// Fig. 13: the configurations Clover evaluates during its first, second and
+// last optimization invocations (image classification), in evaluation
+// order, with SLA disposition — plus the ORACLE point at the same carbon
+// intensity.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace clover;
+  bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintBanner("Fig. 13 — optimization invocation trajectories", flags);
+
+  const carbon::CarbonTrace trace =
+      bench::EvalTrace(carbon::TraceProfile::kCisoMarch, flags);
+
+  core::ExperimentConfig config;
+  config.app = models::Application::kClassification;
+  config.scheme = core::Scheme::kClover;
+  config.trace = &trace;
+  config.duration_hours = flags.hours;
+  config.num_gpus = flags.gpus;
+  config.sizing_gpus = flags.gpus;
+  config.seed = flags.seed;
+
+  core::ExperimentHarness harness(&models::DefaultZoo());
+  const core::RunReport report = harness.Run(config);
+  if (report.optimizations.empty()) {
+    std::cout << "no optimization invocations ran (trace too flat?)\n";
+    return 1;
+  }
+
+  core::Oracle& oracle = harness.OracleFor(
+      config.app, config.num_gpus, report.arrival_rate_qps, config.seed);
+
+  auto show = [&](const char* label, const core::OptimizationRun& run) {
+    std::cout << label << " (t=" << TextTable::Num(run.start_s / 3600.0, 1)
+              << "h, ci=" << TextTable::Num(run.ci, 0) << " gCO2/kWh, "
+              << TextTable::Num(run.DurationSeconds(), 0) << "s):\n";
+    TextTable table({"order", "carbon save (%)", "accuracy gain (%)",
+                     "meets SLA", "cached", "chosen"});
+    for (const opt::EvalRecord& record : run.search.evaluations) {
+      table.AddRow({std::to_string(record.order),
+                    TextTable::Num(record.delta_carbon_pct, 1),
+                    TextTable::Num(record.delta_accuracy_pct, 2),
+                    record.sla_ok ? "yes" : "NO",
+                    record.from_cache ? "yes" : "",
+                    record.graph == run.search.best ? "<--" : ""});
+    }
+    table.Print(std::cout);
+    const core::OracleEntry& entry = oracle.Select(report.params, run.ci);
+    std::cout << "  ORACLE at this ci: carbon save "
+              << TextTable::Num(
+                     opt::DeltaCarbonPct(entry.metrics, report.params, run.ci),
+                     1)
+              << "%, accuracy gain "
+              << TextTable::Num(
+                     opt::DeltaAccuracyPct(entry.metrics, report.params), 2)
+              << "%\n\n";
+  };
+
+  show("Invocation I (cold start)", report.optimizations.front());
+  if (report.optimizations.size() > 1)
+    show("Invocation II", report.optimizations[1]);
+  if (report.optimizations.size() > 2)
+    show("Last invocation", report.optimizations.back());
+
+  std::cout << "paper: invocation I explores mostly SLA-violating configs "
+               "and settles on the one compliant find; invocation II starts\n"
+               "from I's winner and improves on both axes; the last "
+               "invocation converges near ORACLE in a handful of\n"
+               "evaluations, all SLA-compliant.\n";
+  return 0;
+}

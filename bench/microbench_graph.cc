@@ -1,0 +1,67 @@
+// Hot-path microbenchmarks for the optimizer's graph machinery: GED,
+// canonical keys, feasibility (decomposition) and neighbor sampling.
+#include <benchmark/benchmark.h>
+
+#include "graph/config_graph.h"
+#include "graph/ged.h"
+#include "graph/mapping.h"
+#include "graph/neighbors.h"
+
+namespace {
+
+using namespace clover;
+
+graph::ConfigGraph MakeMixedGraph() {
+  graph::ConfigGraph g(models::Application::kClassification, 4);
+  g.SetWeight(3, mig::SliceType::k7g, 2);
+  g.SetWeight(2, mig::SliceType::k2g, 6);
+  g.SetWeight(1, mig::SliceType::k1g, 30);
+  g.SetWeight(0, mig::SliceType::k1g, 10);
+  return g;
+}
+
+void BM_GraphEditDistance(benchmark::State& state) {
+  const graph::ConfigGraph a = MakeMixedGraph();
+  graph::ConfigGraph b = a;
+  b.AddWeight(1, mig::SliceType::k1g, -3);
+  b.AddWeight(2, mig::SliceType::k3g, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::GraphEditDistance(a, b));
+}
+BENCHMARK(BM_GraphEditDistance);
+
+void BM_GraphKey(benchmark::State& state) {
+  const graph::ConfigGraph g = MakeMixedGraph();
+  for (auto _ : state) benchmark::DoNotOptimize(g.Key());
+}
+BENCHMARK(BM_GraphKey);
+
+void BM_FeasibilityCheck(benchmark::State& state) {
+  graph::GraphMapper mapper(&models::DefaultZoo(),
+                            static_cast<int>(state.range(0)));
+  const graph::ConfigGraph g = MakeMixedGraph();
+  for (auto _ : state) benchmark::DoNotOptimize(mapper.IsFeasible(g));
+}
+BENCHMARK(BM_FeasibilityCheck)->Arg(10)->Arg(32);
+
+void BM_ToDeployment(benchmark::State& state) {
+  graph::GraphMapper mapper(&models::DefaultZoo(), 10);
+  const graph::ConfigGraph g = MakeMixedGraph();
+  for (auto _ : state) benchmark::DoNotOptimize(mapper.ToDeployment(g));
+}
+BENCHMARK(BM_ToDeployment);
+
+void BM_NeighborSample(benchmark::State& state) {
+  graph::GraphMapper mapper(&models::DefaultZoo(), 10);
+  graph::NeighborSampler sampler(&mapper, 7);
+  graph::ConfigGraph center = MakeMixedGraph();
+  for (auto _ : state) {
+    auto neighbor = sampler.Sample(center);
+    benchmark::DoNotOptimize(neighbor);
+  }
+}
+BENCHMARK(BM_NeighborSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmarks for the discrete-event simulator: sustained event
+// throughput for BASE (10 instances) and fully partitioned (70 instances)
+// clusters — the number that determines how cheap 48-hour evaluations are.
+#include <benchmark/benchmark.h>
+
+#include "carbon/trace.h"
+#include "sim/arrivals.h"
+#include "sim/cluster_sim.h"
+
+namespace {
+
+using namespace clover;
+
+const carbon::CarbonTrace& FlatTrace() {
+  static const carbon::CarbonTrace trace(
+      "flat", 3600.0, std::vector<double>(100000, 200.0));
+  return trace;
+}
+
+void RunHour(benchmark::State& state, serving::Deployment deployment,
+             double rate) {
+  for (auto _ : state) {
+    sim::SimOptions options;
+    options.arrival_rate_qps = rate;
+    options.window_seconds = 300.0;
+    options.seed = 1;
+    sim::ClusterSim sim(std::move(deployment), models::DefaultZoo(),
+                        &FlatTrace(), options);
+    sim.AdvanceTo(3600.0);
+    benchmark::DoNotOptimize(sim.total_completions());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(sim.total_arrivals()));
+    deployment = sim.deployment();
+  }
+}
+
+void BM_SimHour_Base10Gpus(benchmark::State& state) {
+  const auto app = models::Application::kClassification;
+  RunHour(state, serving::MakeBase(app, 10),
+          sim::SizeArrivalRate(models::DefaultZoo(), app, 10, 0.75));
+}
+BENCHMARK(BM_SimHour_Base10Gpus)->Unit(benchmark::kMillisecond);
+
+void BM_SimHour_Partitioned70Slices(benchmark::State& state) {
+  const auto app = models::Application::kClassification;
+  RunHour(state,
+          serving::MakeCo2Opt(app, 10, models::DefaultZoo()),
+          sim::SizeArrivalRate(models::DefaultZoo(), app, 10, 0.75));
+}
+BENCHMARK(BM_SimHour_Partitioned70Slices)->Unit(benchmark::kMillisecond);
+
+void BM_MeasureProbe(benchmark::State& state) {
+  const auto app = models::Application::kClassification;
+  sim::SimOptions options;
+  options.arrival_rate_qps =
+      sim::SizeArrivalRate(models::DefaultZoo(), app, 10, 0.75);
+  options.window_seconds = 300.0;
+  options.seed = 1;
+  sim::ClusterSim sim(serving::MakeBase(app, 10), models::DefaultZoo(),
+                      &FlatTrace(), options);
+  sim.AdvanceTo(600.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Measure(20.0));
+  }
+}
+BENCHMARK(BM_MeasureProbe)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

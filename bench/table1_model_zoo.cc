@@ -1,0 +1,40 @@
+// Table 1: the three ML inference applications and their model variants,
+// extended with the perf-model attributes the substitution relies on.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "models/zoo.h"
+#include "perf/perf_model.h"
+
+int main(int argc, char** argv) {
+  using namespace clover;
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bench::PrintBanner("Table 1 — applications, datasets, architectures, "
+                     "variants",
+                     flags);
+
+  TextTable table({"application", "dataset", "variant", "metric", "accuracy",
+                   "GFLOPs", "params(M)", "mem(GB)", "min slice",
+                   "lat@7g(ms)", "lat@min(ms)"});
+  for (const models::ModelFamily& family : models::DefaultZoo().families()) {
+    for (const models::ModelVariant& variant : family.variants) {
+      const mig::SliceType min_slice = perf::PerfModel::MinSlice(variant);
+      table.AddRow({std::string(models::ApplicationName(family.app)),
+                    family.dataset, variant.name, family.metric,
+                    TextTable::Num(variant.accuracy, 1),
+                    TextTable::Num(variant.flops_g, 1),
+                    TextTable::Num(variant.params_m, 1),
+                    TextTable::Num(variant.TotalMemGb(), 2),
+                    std::string(mig::Name(min_slice)),
+                    TextTable::Num(perf::PerfModel::LatencyMs(
+                                       family, variant, mig::SliceType::k7g),
+                                   1),
+                    TextTable::Num(perf::PerfModel::LatencyMs(family, variant,
+                                                              min_slice),
+                                   1)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

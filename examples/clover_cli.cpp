@@ -1,0 +1,169 @@
+// clover_cli — run any (scheme × application × trace) experiment from the
+// command line and print the full report; the operator-facing front end of
+// the library.
+//
+//   clover_cli --scheme clover --app classification --trace ciso-march \
+//              --hours 48 --gpus 10 --lambda 0.5 [--limit 1.0]
+//              [--trace-csv path.csv] [--csv report.csv] [--seed 1]
+//
+// `--trace-csv` loads a real carbon-intensity feed ("seconds,gCO2/kWh"
+// rows) instead of the synthetic profiles; `--csv` dumps the per-window
+// series for plotting.
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "carbon/trace_generator.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/harness.h"
+
+namespace {
+
+using namespace clover;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --scheme base|co2opt|blover|clover|oracle   (default clover)\n"
+      << "  --app detection|language|classification     (default classification)\n"
+      << "  --trace ciso-march|ciso-september|eso-march (default ciso-march)\n"
+      << "  --trace-csv FILE   load a real CI trace instead\n"
+      << "  --hours H          trace span (default 48)\n"
+      << "  --gpus N           cluster size (default 10)\n"
+      << "  --lambda L         carbon-vs-accuracy weight (default 0.5)\n"
+      << "  --limit PCT        enforce max accuracy loss (threshold mode)\n"
+      << "  --seed S           RNG seed (default 1)\n"
+      << "  --csv FILE         dump per-window series\n";
+  std::exit(2);
+}
+
+core::Scheme ParseScheme(const std::string& name, const char* argv0) {
+  if (name == "base") return core::Scheme::kBase;
+  if (name == "co2opt") return core::Scheme::kCo2Opt;
+  if (name == "blover") return core::Scheme::kBlover;
+  if (name == "clover") return core::Scheme::kClover;
+  if (name == "oracle") return core::Scheme::kOracle;
+  std::cerr << "unknown scheme " << name << "\n";
+  Usage(argv0);
+}
+
+models::Application ParseApp(const std::string& name, const char* argv0) {
+  if (name == "detection") return models::Application::kDetection;
+  if (name == "language") return models::Application::kLanguage;
+  if (name == "classification") return models::Application::kClassification;
+  std::cerr << "unknown application " << name << "\n";
+  Usage(argv0);
+}
+
+carbon::TraceProfile ParseProfile(const std::string& name,
+                                  const char* argv0) {
+  if (name == "ciso-march") return carbon::TraceProfile::kCisoMarch;
+  if (name == "ciso-september")
+    return carbon::TraceProfile::kCisoSeptember;
+  if (name == "eso-march") return carbon::TraceProfile::kEsoMarch;
+  std::cerr << "unknown trace profile " << name << "\n";
+  Usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config;
+  std::string trace_name = "ciso-march";
+  std::string trace_csv;
+  std::string out_csv;
+  config.duration_hours = 48.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scheme") {
+      config.scheme = ParseScheme(next(), argv[0]);
+    } else if (arg == "--app") {
+      config.app = ParseApp(next(), argv[0]);
+    } else if (arg == "--trace") {
+      trace_name = next();
+    } else if (arg == "--trace-csv") {
+      trace_csv = next();
+    } else if (arg == "--hours") {
+      config.duration_hours = std::stod(next());
+    } else if (arg == "--gpus") {
+      config.num_gpus = config.sizing_gpus = std::stoi(next());
+    } else if (arg == "--lambda") {
+      config.lambda = std::stod(next());
+    } else if (arg == "--limit") {
+      config.accuracy_limit_pct = std::stod(next());
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(next());
+    } else if (arg == "--csv") {
+      out_csv = next();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  carbon::TraceGeneratorOptions trace_options;
+  trace_options.duration_hours = config.duration_hours;
+  trace_options.seed = config.seed + 41;
+  const carbon::CarbonTrace trace =
+      trace_csv.empty()
+          ? GenerateTrace(ParseProfile(trace_name, argv[0]), trace_options)
+          : carbon::CarbonTrace::FromCsv("user-trace", trace_csv);
+  config.trace = &trace;
+
+  core::ExperimentHarness harness(&models::DefaultZoo());
+  const core::RunReport report = harness.Run(config);
+
+  clover::TextTable table({"metric", "value"});
+  table.AddRow({"scheme", std::string(core::SchemeName(report.scheme))});
+  table.AddRow({"application",
+                std::string(models::ApplicationName(report.app))});
+  table.AddRow({"trace", trace.name()});
+  table.AddRow({"arrival rate (qps)",
+                clover::TextTable::Num(report.arrival_rate_qps, 1)});
+  table.AddRow({"requests served", std::to_string(report.completions)});
+  table.AddRow({"weighted accuracy",
+                clover::TextTable::Num(report.weighted_accuracy, 3)});
+  table.AddRow({"SLA target p95 (ms)",
+                clover::TextTable::Num(report.params.l_tail_ms, 1)});
+  table.AddRow({"achieved p95 (ms)",
+                clover::TextTable::Num(report.overall_p95_ms, 1)});
+  table.AddRow({"total IT energy (kWh)",
+                clover::TextTable::Num(report.total_energy_j / 3.6e6, 2)});
+  table.AddRow({"total carbon (kg CO2)",
+                clover::TextTable::Num(report.total_carbon_g / 1e3, 3)});
+  table.AddRow({"carbon per request (gCO2)",
+                clover::TextTable::Num(report.carbon_per_request_g, 5)});
+  table.AddRow({"optimization invocations",
+                std::to_string(report.optimizations.size())});
+  table.AddRow({"optimization time (% of span)",
+                clover::TextTable::Num(
+                    report.optimization_seconds /
+                        (config.duration_hours * 3600.0) * 100.0,
+                    2)});
+  table.AddRow({"cached evaluations",
+                std::to_string(report.cache_hits)});
+  table.Print(std::cout);
+
+  if (!out_csv.empty()) {
+    clover::CsvWriter csv(out_csv,
+                          {"start_s", "ci", "completions", "p95_ms",
+                           "mean_ms", "accuracy", "energy_j", "carbon_g",
+                           "objective"});
+    for (std::size_t w = 0; w < report.windows.size(); ++w) {
+      const auto& window = report.windows[w];
+      csv.WriteRow(std::vector<double>{
+          window.start_s, window.ci,
+          static_cast<double>(window.completions), window.p95_ms,
+          window.mean_ms, window.weighted_accuracy, window.energy_j,
+          window.carbon_g, report.objective_series[w]});
+    }
+    std::cout << "\nper-window series written to " << out_csv << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Threaded serving-runtime demo: the paper's load-balancer architecture
+// (producer -> bounded FIFO queue -> accuracy-greedy consumer -> one worker
+// per MIG slice) on real threads, with a mid-run reconfiguration from the
+// BASE deployment to a Clover-style mixed-quality deployment.
+//
+//   $ ./examples/serving_runtime_demo
+//
+// Service times are scaled 1000x down so the demo finishes in
+// milliseconds; reported latencies are in simulated (unscaled) ms.
+#include <iostream>
+#include <thread>
+
+#include "common/table.h"
+#include "serving/runtime.h"
+
+namespace {
+
+clover::serving::InferenceRuntime::Stats ServeBurst(
+    const clover::serving::Deployment& deployment, int requests) {
+  using clover::serving::InferenceRuntime;
+  InferenceRuntime::Options options;
+  // 20x time compression: a 35 ms service becomes a ~1.8 ms sleep — long
+  // enough that OS sleep granularity does not distort the (rescaled)
+  // latency numbers.
+  options.time_scale = 0.05;
+  InferenceRuntime runtime(deployment, clover::models::DefaultZoo(), options);
+  runtime.Start();
+  for (int i = 0; i < requests; ++i) {
+    runtime.Submit();
+    // 1 ms wall between submissions = 20 ms simulated => ~50 qps offered.
+    std::this_thread::sleep_for(std::chrono::microseconds(1000));
+  }
+  runtime.Drain();
+  return runtime.SnapshotStats();
+}
+
+}  // namespace
+
+int main() {
+  using namespace clover;
+  const auto app = models::Application::kClassification;
+
+  // Phase 1: BASE — two unpartitioned GPUs, highest-quality model.
+  serving::Deployment base = serving::MakeBase(app, 2);
+  const auto base_stats = ServeBurst(base, 400);
+
+  // Phase 2: a Clover-style mix — one GPU keeps B7, the other repartitions
+  // into seven 1g slices serving B3.
+  serving::Deployment mixed = base;
+  mixed.gpus[1].layout_id = 19;
+  mixed.gpus[1].variant_ordinals.assign(7, 1);
+  mixed.Validate(models::DefaultZoo());
+  const auto mixed_stats = ServeBurst(mixed, 400);
+
+  TextTable table({"deployment", "instances", "completed", "p95 (ms)",
+                   "mean (ms)", "weighted accuracy"});
+  table.AddRow({"BASE (2x B7@7g)", "2", std::to_string(base_stats.completed),
+                TextTable::Num(base_stats.p95_latency_ms, 1),
+                TextTable::Num(base_stats.mean_latency_ms, 1),
+                TextTable::Num(base_stats.weighted_accuracy, 2)});
+  table.AddRow({"mixed (1x B7@7g + 7x B3@1g)", "8",
+                std::to_string(mixed_stats.completed),
+                TextTable::Num(mixed_stats.p95_latency_ms, 1),
+                TextTable::Num(mixed_stats.mean_latency_ms, 1),
+                TextTable::Num(mixed_stats.weighted_accuracy, 2)});
+  table.Print(std::cout);
+
+  std::cout << "\nper-instance request counts (mixed deployment, "
+               "accuracy-greedy dispatch puts the B7 instance first):\n  ";
+  for (std::uint64_t served : mixed_stats.served_per_instance)
+    std::cout << served << ' ';
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Carbon-intensity monitor with re-optimization trigger.
+//
+// The Clover controller "monitor[s] the real-time carbon intensity from the
+// local grid and initiat[es] its optimization process as a reaction to
+// changes" (paper Fig. 5). The evaluation triggers a new optimization when
+// the intensity moved more than 5% relative to the value at the previous
+// optimization run (Sec. 5.2.2).
+#pragma once
+
+#include "carbon/trace.h"
+
+namespace clover::carbon {
+
+class CarbonMonitor {
+ public:
+  // `change_threshold` is relative (0.05 = 5%).
+  CarbonMonitor(const CarbonTrace* trace, double change_threshold = 0.05);
+
+  // Current intensity at simulation time `t_seconds`.
+  double IntensityAt(double t_seconds) const;
+
+  // True when the intensity at `t_seconds` deviates from the reference
+  // (the value captured by the last AcknowledgeOptimization) by more than
+  // the threshold. Always true before the first acknowledgement.
+  bool ShouldReoptimize(double t_seconds) const;
+
+  // Records that an optimization ran against the intensity at `t_seconds`.
+  void AcknowledgeOptimization(double t_seconds);
+
+  double change_threshold() const { return change_threshold_; }
+  const CarbonTrace& trace() const { return *trace_; }
+
+ private:
+  const CarbonTrace* trace_;
+  double change_threshold_;
+  bool has_reference_ = false;
+  double reference_intensity_ = 0.0;
+};
+
+}  // namespace clover::carbon

@@ -1,0 +1,91 @@
+#include "carbon/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace clover::carbon {
+
+CarbonTrace::CarbonTrace(std::string name, double sample_interval_s,
+                         std::vector<double> values)
+    : name_(std::move(name)),
+      sample_interval_s_(sample_interval_s),
+      values_(std::move(values)) {
+  CLOVER_CHECK(sample_interval_s_ > 0.0);
+  CLOVER_CHECK_MSG(!values_.empty(), "trace " << name_ << " is empty");
+  for (double v : values_)
+    CLOVER_CHECK_MSG(v >= 0.0, "negative carbon intensity in " << name_);
+}
+
+double CarbonTrace::At(double t_seconds) const {
+  if (t_seconds <= 0.0) return values_.front();
+  const auto index =
+      static_cast<std::size_t>(std::floor(t_seconds / sample_interval_s_));
+  if (index >= values_.size()) return values_.back();
+  return values_[index];
+}
+
+double CarbonTrace::DurationSeconds() const {
+  return static_cast<double>(values_.size()) * sample_interval_s_;
+}
+
+RunningStats CarbonTrace::Summary() const {
+  RunningStats stats;
+  for (double v : values_) stats.Add(v);
+  return stats;
+}
+
+double CarbonTrace::MaxSwingWithin(double span_seconds) const {
+  const auto window =
+      static_cast<std::size_t>(std::floor(span_seconds / sample_interval_s_));
+  double max_swing = 0.0;
+  // Sliding min/max via monotonic deques would be O(n); the traces here are
+  // small (<= 4k samples) so the simple O(n·w) scan with early exit is fine.
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const std::size_t end = std::min(values_.size(), i + window + 1);
+    double lo = values_[i], hi = values_[i];
+    for (std::size_t j = i + 1; j < end; ++j) {
+      lo = std::min(lo, values_[j]);
+      hi = std::max(hi, values_[j]);
+    }
+    max_swing = std::max(max_swing, hi - lo);
+  }
+  return max_swing;
+}
+
+CarbonTrace CarbonTrace::FromCsv(const std::string& name,
+                                 const std::string& path) {
+  std::ifstream in(path);
+  CLOVER_CHECK_MSG(in.good(), "cannot open trace csv " << path);
+  std::vector<double> times;
+  std::vector<double> values;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string t_str, v_str;
+    if (!std::getline(row, t_str, ',') || !std::getline(row, v_str, ','))
+      continue;
+    try {
+      times.push_back(std::stod(t_str));
+      values.push_back(std::stod(v_str));
+    } catch (const std::exception&) {
+      continue;  // header row
+    }
+  }
+  CLOVER_CHECK_MSG(values.size() >= 2, "trace csv " << path
+                                                    << " needs >= 2 samples");
+  const double interval = times[1] - times[0];
+  CLOVER_CHECK_MSG(interval > 0.0, "non-increasing timestamps in " << path);
+  for (std::size_t i = 2; i < times.size(); ++i) {
+    const double gap = times[i] - times[i - 1];
+    CLOVER_CHECK_MSG(std::abs(gap - interval) < 1e-6 * interval + 1e-9,
+                     "trace csv " << path << " is not uniformly sampled");
+  }
+  return CarbonTrace(name, interval, std::move(values));
+}
+
+}  // namespace clover::carbon

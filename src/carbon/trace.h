@@ -1,0 +1,50 @@
+// Carbon-intensity time series.
+//
+// A CarbonTrace is a uniformly sampled series of grid carbon intensity
+// (gCO2/kWh), the signal the Clover controller reacts to (paper Figs. 4, 8).
+// Real deployments poll a grid-operator API; this repo generates synthetic
+// traces shaped to the paper's figures (see trace_generator.h) and can also
+// load a trace from CSV for users with access to real data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace clover::carbon {
+
+class CarbonTrace {
+ public:
+  // `sample_interval_s` between consecutive samples; `values` in gCO2/kWh.
+  CarbonTrace(std::string name, double sample_interval_s,
+              std::vector<double> values);
+
+  // Piecewise-constant lookup (grid operators publish step values). Times
+  // beyond the last sample clamp to the final value; negative times clamp
+  // to the first.
+  double At(double t_seconds) const;
+
+  double DurationSeconds() const;
+  double sample_interval_s() const { return sample_interval_s_; }
+  const std::vector<double>& values() const { return values_; }
+  const std::string& name() const { return name_; }
+
+  RunningStats Summary() const;
+
+  // Largest |change| between any two samples within `span_seconds` of each
+  // other (used to reproduce the paper's ">200 gCO2/kWh within half a day"
+  // observation).
+  double MaxSwingWithin(double span_seconds) const;
+
+  // Loads "seconds,gCO2_per_kWh" rows (header optional) with uniform
+  // spacing. Throws on malformed input.
+  static CarbonTrace FromCsv(const std::string& name, const std::string& path);
+
+ private:
+  std::string name_;
+  double sample_interval_s_;
+  std::vector<double> values_;
+};
+
+}  // namespace clover::carbon

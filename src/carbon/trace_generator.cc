@@ -1,0 +1,94 @@
+#include "carbon/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace clover::carbon {
+namespace {
+
+struct ProfileParams {
+  double base;            // mean level, gCO2/kWh
+  double solar_dip;       // amplitude of the midday solar dip
+  double evening_ramp;    // amplitude of the evening peak harmonic
+  double ou_sigma;        // stationary std-dev of the weather process
+  double ou_tau_hours;    // OU mean-reversion time constant
+  double floor;           // physical lower bound of the grid mix
+  double ceiling;         // upper bound
+};
+
+ProfileParams ParamsFor(TraceProfile profile) {
+  switch (profile) {
+    case TraceProfile::kCisoMarch:
+      // Strong spring solar: deep duck-curve belly, sharp evening ramp.
+      // Weather noise is slow (grid-scale CI moves on ramp timescales, not
+      // minute to minute), so the controller's 5% trigger fires on the
+      // solar/evening ramps rather than on sampling jitter.
+      return {220.0, 95.0, 45.0, 14.0, 9.0, 90.0, 360.0};
+    case TraceProfile::kCisoSeptember:
+      // Shorter days, more AC load: shallower dip, higher trough.
+      return {200.0, 60.0, 40.0, 13.0, 9.0, 100.0, 310.0};
+    case TraceProfile::kEsoMarch:
+      // Wind-dominated UK grid: weak diurnal cycle, large slow swings.
+      return {170.0, 25.0, 30.0, 45.0, 30.0, 45.0, 310.0};
+  }
+  return {200.0, 50.0, 40.0, 25.0, 6.0, 80.0, 350.0};
+}
+
+}  // namespace
+
+const char* TraceProfileName(TraceProfile profile) {
+  switch (profile) {
+    case TraceProfile::kCisoMarch:
+      return "US-CISO-March";
+    case TraceProfile::kCisoSeptember:
+      return "US-CISO-September";
+    case TraceProfile::kEsoMarch:
+      return "UK-ESO-March";
+  }
+  return "?";
+}
+
+CarbonTrace GenerateTrace(TraceProfile profile,
+                          const TraceGeneratorOptions& options) {
+  const ProfileParams params = ParamsFor(profile);
+  RngStream rng(options.seed, std::string("carbon-trace-") +
+                                  TraceProfileName(profile));
+
+  const auto num_samples = static_cast<std::size_t>(
+      HoursToSeconds(options.duration_hours) / options.sample_interval_s);
+  std::vector<double> values;
+  values.reserve(num_samples);
+
+  // Ornstein–Uhlenbeck weather process, exact discretization.
+  const double dt_hours = options.sample_interval_s / 3600.0;
+  const double decay = std::exp(-dt_hours / params.ou_tau_hours);
+  const double innovation_sigma =
+      params.ou_sigma * std::sqrt(1.0 - decay * decay);
+  double weather = params.ou_sigma * rng.NextGaussian();
+
+  constexpr double kTwoPi = 6.283185307179586;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const double hour_of_day =
+        std::fmod(static_cast<double>(i) * dt_hours, 24.0);
+    // Solar dip centered at 13:00 local (cos peaks there with this phase).
+    const double solar =
+        -params.solar_dip *
+        std::max(0.0, std::cos(kTwoPi * (hour_of_day - 13.0) / 24.0));
+    // Evening-ramp harmonic peaking at 20:00.
+    const double ramp =
+        params.evening_ramp * std::cos(kTwoPi * (hour_of_day - 20.0) / 12.0);
+    weather = decay * weather + innovation_sigma * rng.NextGaussian();
+    const double value =
+        std::clamp(params.base + solar + ramp + weather, params.floor,
+                   params.ceiling);
+    values.push_back(value);
+  }
+  return CarbonTrace(TraceProfileName(profile), options.sample_interval_s,
+                     std::move(values));
+}
+
+}  // namespace clover::carbon

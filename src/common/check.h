@@ -1,0 +1,57 @@
+// Lightweight invariant-checking macros.
+//
+// CLOVER_CHECK is active in all build types: simulation correctness depends
+// on these invariants and the cost is negligible relative to the event loop.
+// Failures throw clover::CheckError so tests can assert on them and
+// long-running benches fail loudly instead of corrupting results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace clover {
+
+// Thrown when a CLOVER_CHECK fails. Derives from std::logic_error because a
+// failed check always indicates a programming error, not an I/O condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace clover
+
+#define CLOVER_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::clover::internal::CheckFail(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define CLOVER_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg; /* NOLINT */                                          \
+      ::clover::internal::CheckFail(#expr, __FILE__, __LINE__,          \
+                                    os_.str());                         \
+    }                                                                   \
+  } while (0)
+
+// Checks that are cheap enough to keep even in the DES hot loop but which we
+// still want to be able to compile out for microbenchmarks.
+#ifdef CLOVER_NO_HOT_CHECKS
+#define CLOVER_DCHECK(expr) ((void)0)
+#else
+#define CLOVER_DCHECK(expr) CLOVER_CHECK(expr)
+#endif

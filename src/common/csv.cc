@@ -1,0 +1,47 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace clover {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  CLOVER_CHECK_MSG(out_.good(), "cannot open " << path << " for writing");
+  WriteRow(header);
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  CLOVER_CHECK(cells.size() == arity_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  std::vector<std::string> strings;
+  strings.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    strings.push_back(os.str());
+  }
+  WriteRow(strings);
+}
+
+}  // namespace clover

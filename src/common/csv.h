@@ -1,0 +1,28 @@
+// Minimal CSV writer used by benches to dump figure series for plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace clover {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void WriteRow(const std::vector<std::string>& cells);
+  void WriteRow(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace clover

@@ -1,0 +1,64 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string_view>
+
+namespace clover {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+LogLevel ParseLevel(std::string_view s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    default:
+      return "?";
+  }
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    const char* env = std::getenv("CLOVER_LOG");
+    const LogLevel parsed = env ? ParseLevel(env) : LogLevel::kOff;
+    level = static_cast<int>(parsed);
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetGlobalLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void Emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::cerr << "[clover " << LevelName(level) << "] " << message << '\n';
+}
+
+}  // namespace internal
+}  // namespace clover

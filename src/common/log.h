@@ -1,0 +1,37 @@
+// Leveled logger for the controller and runtime.
+//
+// Logging is off by default (benches print structured tables instead); set
+// the CLOVER_LOG environment variable to debug/info/warn to trace the
+// controller's optimization decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace clover {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+// Global threshold, initialized from $CLOVER_LOG on first use.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+}  // namespace internal
+
+}  // namespace clover
+
+#define CLOVER_LOG(level_enum, expr)                                       \
+  do {                                                                     \
+    if (static_cast<int>(::clover::LogLevel::level_enum) >=                \
+        static_cast<int>(::clover::GlobalLogLevel())) {                    \
+      std::ostringstream os_;                                              \
+      os_ << expr; /* NOLINT */                                            \
+      ::clover::internal::Emit(::clover::LogLevel::level_enum, os_.str()); \
+    }                                                                      \
+  } while (0)
+
+#define CLOVER_DEBUG(expr) CLOVER_LOG(kDebug, expr)
+#define CLOVER_INFO(expr) CLOVER_LOG(kInfo, expr)
+#define CLOVER_WARN(expr) CLOVER_LOG(kWarn, expr)

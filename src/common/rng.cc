@@ -1,0 +1,86 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace clover {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashStreamName(std::string_view name) {
+  // FNV-1a over the bytes, then one SplitMix64 finalization round to spread
+  // the entropy across all 64 bits.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(h);
+}
+
+RngStream::RngStream(std::uint64_t seed, std::string_view stream_name) {
+  std::uint64_t sm = seed ^ HashStreamName(stream_name);
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+static inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t RngStream::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double RngStream::NextDouble() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t RngStream::NextBounded(std::uint64_t bound) {
+  CLOVER_DCHECK(bound > 0);
+  // Lemire's multiply-shift; bias is negligible for simulation bounds.
+  unsigned __int128 m =
+      static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double RngStream::NextExponential(double rate) {
+  CLOVER_DCHECK(rate > 0.0);
+  // -log(1-u) with u in [0,1) avoids log(0).
+  return -std::log1p(-NextDouble()) / rate;
+}
+
+double RngStream::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller. Draw u1 away from zero to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double kTwoPi = 6.283185307179586;
+  cached_gaussian_ = r * std::sin(kTwoPi * u2);
+  has_cached_gaussian_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+}  // namespace clover

@@ -1,0 +1,61 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component in the simulator (arrival process, service
+// jitter, trace noise, SA proposals, …) owns a named RngStream. Streams are
+// derived from (global seed, stream id) with SplitMix64 so that
+//   * the same seed reproduces bit-identical experiments, and
+//   * adding a new consumer of randomness never perturbs existing streams.
+//
+// The generator is xoshiro256**, which is small, fast and statistically
+// strong — the event loop draws from it on every arrival.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace clover {
+
+// SplitMix64 step; used for seeding and for hashing stream names.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// Stable 64-bit hash of a stream name (FNV-1a finalized by SplitMix64).
+std::uint64_t HashStreamName(std::string_view name);
+
+// xoshiro256** generator with named-stream seeding.
+class RngStream {
+ public:
+  using result_type = std::uint64_t;
+
+  // Derives the stream state from (seed, stream name). Two streams with
+  // different names are statistically independent.
+  RngStream(std::uint64_t seed, std::string_view stream_name);
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  // nearly-divisionless method; the tiny modulo bias (< 2^-53 for the bounds
+  // used here) is irrelevant for simulation purposes.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Exponentially distributed sample with the given rate (events/second).
+  // Used by the Poisson arrival process for inter-arrival gaps.
+  double NextExponential(double rate);
+
+  // Standard normal via Box–Muller (caches the second deviate).
+  double NextGaussian();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace clover

@@ -1,0 +1,31 @@
+// Console table formatting for the benchmark/report binaries.
+//
+// Every figure/table bench prints its result as an aligned text table so the
+// paper's rows can be compared at a glance and grepped by scripts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace clover {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clover

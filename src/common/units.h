@@ -1,0 +1,38 @@
+// Unit conventions and conversion helpers.
+//
+// The codebase uses raw doubles with unit-suffixed names (…_s, …_ms, …_j,
+// …_w, …_g) rather than a full dimensional-analysis type system; the
+// converters below make every cross-unit computation explicit and testable.
+//
+//   time            seconds (simulation clock), milliseconds (latencies)
+//   power           watts
+//   energy          joules
+//   carbon intensity gCO2 per kWh (the grid-operator convention)
+//   carbon mass     grams of CO2
+#pragma once
+
+namespace clover {
+
+inline constexpr double kJoulesPerKwh = 3.6e6;
+
+// Converts joules to kilowatt-hours.
+constexpr double JoulesToKwh(double joules) { return joules / kJoulesPerKwh; }
+
+// Converts kilowatt-hours to joules.
+constexpr double KwhToJoules(double kwh) { return kwh * kJoulesPerKwh; }
+
+// Carbon mass (gCO2) emitted by consuming `joules` of energy at carbon
+// intensity `ci_g_per_kwh`, after applying the datacenter PUE multiplier
+// (total facility energy = IT energy × PUE; the paper evaluates PUE = 1.5).
+constexpr double CarbonGrams(double joules, double ci_g_per_kwh,
+                             double pue = 1.0) {
+  return JoulesToKwh(joules * pue) * ci_g_per_kwh;
+}
+
+constexpr double MsToSeconds(double ms) { return ms / 1e3; }
+constexpr double SecondsToMs(double s) { return s * 1e3; }
+constexpr double HoursToSeconds(double h) { return h * 3600.0; }
+constexpr double SecondsToHours(double s) { return s / 3600.0; }
+constexpr double MinutesToSeconds(double m) { return m * 60.0; }
+
+}  // namespace clover

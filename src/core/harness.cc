@@ -1,0 +1,199 @@
+#include "core/harness.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "perf/calibration.h"
+#include "sim/arrivals.h"
+
+namespace clover::core {
+
+double RunReport::CarbonSavePctVs(const RunReport& base) const {
+  CLOVER_CHECK(base.total_carbon_g > 0.0);
+  return (base.total_carbon_g - total_carbon_g) / base.total_carbon_g * 100.0;
+}
+
+double RunReport::AccuracyLossPctVs(const RunReport& base) const {
+  CLOVER_CHECK(base.weighted_accuracy > 0.0);
+  return (base.weighted_accuracy - weighted_accuracy) /
+         base.weighted_accuracy * 100.0;
+}
+
+double RunReport::P95NormVs(const RunReport& base) const {
+  CLOVER_CHECK(base.overall_p95_ms > 0.0);
+  return overall_p95_ms / base.overall_p95_ms;
+}
+
+ExperimentHarness::ExperimentHarness(const models::ModelZoo* zoo)
+    : zoo_(zoo) {
+  CLOVER_CHECK(zoo_ != nullptr);
+}
+
+const BaselineCalibration& ExperimentHarness::Calibrate(
+    models::Application app, int sizing_gpus, double utilization_target,
+    std::optional<double> rate_override, std::uint64_t seed) {
+  const double rate =
+      rate_override.value_or(sim::SizeArrivalRate(*zoo_, app, sizing_gpus,
+                                                  utilization_target));
+  const auto key = std::make_tuple(static_cast<int>(app), sizing_gpus,
+                                   static_cast<int>(std::lround(rate * 100)),
+                                   seed);
+  auto it = calibration_cache_.find(key);
+  if (it != calibration_cache_.end()) return it->second;
+
+  // Calibration run: BASE deployment, flat trace, 10-minute warmup then a
+  // 30-minute measurement. The p95 of this run defines the SLA target.
+  static const carbon::CarbonTrace kFlatTrace(
+      "calibration", 3600.0, std::vector<double>(48, 250.0));
+  serving::Deployment base = serving::MakeBase(app, sizing_gpus);
+  sim::SimOptions options;
+  options.arrival_rate_qps = rate;
+  options.window_seconds = 300.0;
+  options.seed = seed;
+  sim::ClusterSim sim(base, *zoo_, &kFlatTrace, options);
+  sim.AdvanceTo(MinutesToSeconds(10));
+  const sim::Measurement measurement = sim.Measure(MinutesToSeconds(30));
+  CLOVER_CHECK_MSG(measurement.completions > 0,
+                   "calibration run served no requests");
+
+  BaselineCalibration calibration;
+  calibration.arrival_rate_qps = rate;
+  calibration.l_tail_ms = measurement.p95_ms;
+  calibration.energy_per_request_j = measurement.energy_per_request_j;
+  calibration.a_base = measurement.weighted_accuracy;
+  return calibration_cache_.emplace(key, calibration).first->second;
+}
+
+Oracle& ExperimentHarness::OracleFor(models::Application app, int num_gpus,
+                                     double arrival_rate_qps,
+                                     std::uint64_t seed) {
+  const auto key =
+      std::make_tuple(static_cast<int>(app), num_gpus,
+                      static_cast<int>(std::lround(arrival_rate_qps * 100)),
+                      seed);
+  auto it = oracle_cache_.find(key);
+  if (it == oracle_cache_.end()) {
+    it = oracle_cache_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                      std::forward_as_tuple(zoo_, app, num_gpus,
+                                            arrival_rate_qps, seed))
+             .first;
+    it->second.Profile();
+  }
+  return it->second;
+}
+
+RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
+  CLOVER_CHECK(config.trace != nullptr);
+  const BaselineCalibration& calibration =
+      Calibrate(config.app, config.sizing_gpus, config.utilization_target,
+                config.arrival_rate_qps, config.seed);
+
+  opt::ObjectiveParams params;
+  params.lambda = config.lambda;
+  params.a_base = calibration.a_base;
+  params.c_base_g = CarbonGrams(calibration.energy_per_request_j,
+                                config.ci_base, perf::kPue);
+  params.l_tail_ms = calibration.l_tail_ms;
+  params.pue = perf::kPue;
+  params.max_accuracy_loss_pct = config.accuracy_limit_pct;
+
+  // Initial deployment per scheme (all schemes start at the paper's default
+  // configuration except CO2OPT, which is statically defined).
+  Oracle* oracle = nullptr;
+  serving::Deployment initial = serving::MakeBase(config.app, config.num_gpus);
+  if (config.scheme == Scheme::kCo2Opt) {
+    initial = serving::MakeCo2Opt(config.app, config.num_gpus, *zoo_);
+  } else if (config.scheme == Scheme::kOracle) {
+    oracle = &OracleFor(config.app, config.num_gpus,
+                        calibration.arrival_rate_qps, config.seed);
+    graph::GraphMapper mapper(zoo_, config.num_gpus);
+    const OracleEntry& entry =
+        oracle->Select(params, config.trace->At(0.0));
+    const auto deployment = mapper.ToDeployment(entry.graph);
+    CLOVER_CHECK(deployment.has_value());
+    initial = *deployment;
+  }
+
+  sim::SimOptions sim_options;
+  sim_options.arrival_rate_qps = calibration.arrival_rate_qps;
+  sim_options.window_seconds = config.control_interval_s;
+  sim_options.seed = config.seed;
+  sim::ClusterSim sim(initial, *zoo_, config.trace, sim_options);
+
+  std::unique_ptr<Controller> controller;
+  if (config.scheme == Scheme::kClover || config.scheme == Scheme::kBlover) {
+    Controller::Options controller_options = config.controller;
+    controller_options.scheme = config.scheme;
+    controller_options.seed = config.seed;
+    controller = std::make_unique<Controller>(&sim, zoo_, config.trace,
+                                              params, controller_options);
+  }
+  carbon::CarbonMonitor oracle_monitor(config.trace,
+                                       config.controller.ci_trigger);
+  graph::GraphMapper oracle_mapper(zoo_, config.num_gpus);
+  const mig::RepartitionCostModel kFreeReconfig{0.0, 0.0, 0.0};
+  if (config.scheme == Scheme::kOracle)
+    oracle_monitor.AcknowledgeOptimization(0.0);
+
+  // Control loop. An optimization invocation may overrun the control
+  // interval (its evaluations advance simulated time), so each step only
+  // advances when the target is ahead of the clock.
+  const double duration_s = HoursToSeconds(config.duration_hours);
+  for (double t = config.control_interval_s; t <= duration_s + 1e-9;
+       t += config.control_interval_s) {
+    const double target = std::min(t, duration_s);
+    if (target > sim.now()) sim.AdvanceTo(target);
+    if (controller != nullptr) {
+      controller->Step();
+    } else if (config.scheme == Scheme::kOracle &&
+               oracle_monitor.ShouldReoptimize(sim.now())) {
+      const OracleEntry& entry =
+          oracle->Select(params, oracle_monitor.IntensityAt(sim.now()));
+      const auto deployment = oracle_mapper.ToDeployment(entry.graph);
+      CLOVER_CHECK(deployment.has_value());
+      sim.ApplyDeployment(*deployment, kFreeReconfig);
+      oracle_monitor.AcknowledgeOptimization(sim.now());
+    }
+  }
+  if (duration_s > sim.now()) sim.AdvanceTo(duration_s);
+
+  // Assemble the report.
+  RunReport report;
+  report.app = config.app;
+  report.scheme = config.scheme;
+  report.arrival_rate_qps = calibration.arrival_rate_qps;
+  report.params = params;
+  report.arrivals = sim.total_arrivals();
+  report.completions = sim.total_completions();
+  report.total_energy_j = sim.total_energy_j();
+  report.total_carbon_g = sim.total_carbon_g();
+  report.weighted_accuracy = sim.OverallWeightedAccuracy();
+  report.overall_p95_ms = sim.OverallP95Ms();
+  report.carbon_per_request_g =
+      report.completions
+          ? report.total_carbon_g / static_cast<double>(report.completions)
+          : 0.0;
+  report.windows = sim.windows();
+  report.objective_series.reserve(report.windows.size());
+  for (const sim::WindowRecord& window : report.windows) {
+    opt::EvalMetrics metrics;
+    metrics.accuracy = window.weighted_accuracy;
+    metrics.energy_per_request_j =
+        window.completions
+            ? window.energy_j / static_cast<double>(window.completions)
+            : calibration.energy_per_request_j;
+    metrics.p95_ms = window.p95_ms;
+    report.objective_series.push_back(
+        opt::ObjectiveF(metrics, params, window.ci));
+  }
+  if (controller != nullptr) {
+    report.optimizations = controller->history();
+    report.optimization_seconds = controller->total_optimization_seconds();
+    report.cache_hits = controller->cache_hits();
+  }
+  return report;
+}
+
+}  // namespace clover::core

@@ -1,0 +1,112 @@
+// Experiment harness: runs one (scheme, application, trace) evaluation and
+// produces the report the bench binaries print (paper Sec. 5 methodology).
+//
+// The harness implements the paper's setup rules:
+//  * arrival rate sized so BASE on the sizing cluster runs ~75% utilized;
+//  * SLA = p95 tail latency of BASE measured on a calibration run;
+//  * C_base = BASE energy/request at a fixed reference intensity;
+//  * all schemes serve the same Poisson stream over the same CI trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "carbon/trace.h"
+#include "core/controller.h"
+#include "core/oracle.h"
+#include "core/schemes.h"
+#include "models/zoo.h"
+#include "opt/objective.h"
+#include "sim/cluster_sim.h"
+
+namespace clover::core {
+
+struct ExperimentConfig {
+  models::Application app = models::Application::kClassification;
+  Scheme scheme = Scheme::kClover;
+  const carbon::CarbonTrace* trace = nullptr;
+  double duration_hours = 48.0;
+  int num_gpus = 10;
+  // The cluster size the arrival rate is sized against (differs from
+  // num_gpus only in the reduced-provisioning study, Fig. 15).
+  int sizing_gpus = 10;
+  double utilization_target = 0.75;
+  std::optional<double> arrival_rate_qps;  // overrides the sizing rule
+  double lambda = 0.5;                     // objective weight (paper default)
+  std::optional<double> accuracy_limit_pct;  // threshold mode (Fig. 14)
+  double ci_base = 250.0;  // reference intensity for C_base
+  std::uint64_t seed = 1;
+  double control_interval_s = 300.0;
+  Controller::Options controller;  // scheme/seed fields are overwritten
+};
+
+struct RunReport {
+  // Context.
+  models::Application app = models::Application::kClassification;
+  Scheme scheme = Scheme::kBase;
+  double arrival_rate_qps = 0.0;
+  opt::ObjectiveParams params;
+
+  // Totals over the run.
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  double total_energy_j = 0.0;
+  double total_carbon_g = 0.0;
+  double weighted_accuracy = 0.0;
+  double overall_p95_ms = 0.0;
+  double carbon_per_request_g = 0.0;
+
+  // Per-window series (5-minute windows).
+  std::vector<sim::WindowRecord> windows;
+  std::vector<double> objective_series;  // f per window
+
+  // Optimization bookkeeping (CLOVER / BLOVER only).
+  std::vector<OptimizationRun> optimizations;
+  double optimization_seconds = 0.0;
+  std::uint64_t cache_hits = 0;
+
+  // Derived comparisons against a BASE report from the same setting.
+  double CarbonSavePctVs(const RunReport& base) const;
+  double AccuracyLossPctVs(const RunReport& base) const;
+  double AccuracyGainPctVs(const RunReport& base) const {
+    return -AccuracyLossPctVs(base);
+  }
+  double P95NormVs(const RunReport& base) const;
+};
+
+// Baseline calibration shared by all schemes of a setting.
+struct BaselineCalibration {
+  double arrival_rate_qps = 0.0;
+  double l_tail_ms = 0.0;             // SLA target (p95 of BASE)
+  double energy_per_request_j = 0.0;  // BASE energy per request
+  double a_base = 0.0;                // BASE accuracy
+};
+
+class ExperimentHarness {
+ public:
+  explicit ExperimentHarness(const models::ModelZoo* zoo);
+
+  // Calibrates (and caches) the BASE reference for a setting.
+  const BaselineCalibration& Calibrate(models::Application app,
+                                       int sizing_gpus,
+                                       double utilization_target,
+                                       std::optional<double> rate_override,
+                                       std::uint64_t seed);
+
+  // Runs one experiment end to end.
+  RunReport Run(const ExperimentConfig& config);
+
+  // Builds (and caches) the profiled oracle for a setting.
+  Oracle& OracleFor(models::Application app, int num_gpus,
+                    double arrival_rate_qps, std::uint64_t seed);
+
+ private:
+  const models::ModelZoo* zoo_;
+  std::map<std::tuple<int, int, int, std::uint64_t>, BaselineCalibration>
+      calibration_cache_;  // (app, gpus, rate_key, seed)
+  std::map<std::tuple<int, int, int, std::uint64_t>, Oracle> oracle_cache_;
+};
+
+}  // namespace clover::core

@@ -1,0 +1,21 @@
+#include "core/schemes.h"
+
+namespace clover::core {
+
+std::string_view SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBase:
+      return "BASE";
+    case Scheme::kCo2Opt:
+      return "CO2OPT";
+    case Scheme::kBlover:
+      return "BLOVER";
+    case Scheme::kClover:
+      return "CLOVER";
+    case Scheme::kOracle:
+      return "ORACLE";
+  }
+  return "?";
+}
+
+}  // namespace clover::core

@@ -1,0 +1,19 @@
+#include "graph/ged.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace clover::graph {
+
+int GraphEditDistance(const ConfigGraph& a, const ConfigGraph& b) {
+  CLOVER_CHECK(a.app() == b.app());
+  CLOVER_CHECK(a.num_variants() == b.num_variants());
+  int distance = 0;
+  for (int v = 0; v < a.num_variants(); ++v)
+    for (mig::SliceType slice : mig::kAllSliceTypes)
+      distance += std::abs(a.Weight(v, slice) - b.Weight(v, slice));
+  return distance;
+}
+
+}  // namespace clover::graph

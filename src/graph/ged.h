@@ -1,0 +1,28 @@
+// Graph edit distance between configuration graphs (paper Sec. 4.2).
+//
+// All configuration graphs share the same vertex set (variants x slice
+// types), so the only edits are edge-weight changes, and each unit of
+// weight added or removed costs 1:
+//
+//     GED(a, b) = sum over edges |w_a(e) - w_b(e)|
+//
+// This matches the paper's worked example (Fig. 7 step 2): replacing three
+// weight-1 edges with two weight-1 edges and one weight-2 edge costs
+// 3 + 1 + 1 + 2 = 8 minus shared edges = 8. It also gives the paper's move
+// costs: swapping the variant of one instance = 2, moving one instance to a
+// different slice type = 2; the neighborhood radius of 4 therefore spans up
+// to two atomic moves.
+#pragma once
+
+#include "graph/config_graph.h"
+
+namespace clover::graph {
+
+// Requires a and b to describe the same application/variant set.
+int GraphEditDistance(const ConfigGraph& a, const ConfigGraph& b);
+
+// The paper's neighborhood radius: configurations within this GED of the
+// center are "neighbors" for the annealer.
+inline constexpr int kNeighborhoodGed = 4;
+
+}  // namespace clover::graph

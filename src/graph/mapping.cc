@@ -1,0 +1,157 @@
+#include "graph/mapping.h"
+
+#include <array>
+#include <vector>
+
+#include "common/check.h"
+#include "perf/perf_model.h"
+
+namespace clover::graph {
+
+GraphMapper::GraphMapper(const models::ModelZoo* zoo, int num_gpus)
+    : zoo_(zoo), num_gpus_(num_gpus) {
+  CLOVER_CHECK(zoo_ != nullptr);
+  CLOVER_CHECK(num_gpus_ > 0);
+}
+
+bool GraphMapper::IsFeasible(const ConfigGraph& graph) {
+  const int instances = graph.TotalInstances();
+  if (instances < 1 || instances > 7 * num_gpus_) return false;
+
+  const models::ModelFamily& family = zoo_->ForApplication(graph.app());
+  if (family.NumVariants() != graph.num_variants()) return false;
+  for (int v = 0; v < graph.num_variants(); ++v)
+    for (mig::SliceType slice : mig::kAllSliceTypes)
+      if (graph.Weight(v, slice) > 0 &&
+          !perf::PerfModel::Fits(family.Variant(v), slice))
+        return false;  // the paper's disabled (OOM) edges
+
+  return solver_.CanCover(graph.SliceDemand(), num_gpus_);
+}
+
+std::optional<serving::Deployment> GraphMapper::ToDeployment(
+    const ConfigGraph& graph, const serving::Deployment* anchor) {
+  if (!IsFeasible(graph)) return std::nullopt;
+  if (anchor != nullptr) {
+    CLOVER_CHECK(anchor->NumGpus() == num_gpus_);
+    CLOVER_CHECK(anchor->app == graph.app());
+  }
+
+  const auto chosen = solver_.ChooseLayouts(graph.SliceDemand(), num_gpus_);
+  CLOVER_CHECK(chosen.has_value());
+
+  // Assign layout ids to GPU indices, keeping anchored GPUs on their
+  // current layout when the multiset allows.
+  std::vector<int> layout_pool = *chosen;  // sorted multiset
+  std::vector<int> gpu_layout(static_cast<std::size_t>(num_gpus_), 0);
+  std::vector<bool> assigned(static_cast<std::size_t>(num_gpus_), false);
+  if (anchor != nullptr) {
+    for (int g = 0; g < num_gpus_; ++g) {
+      const int current = anchor->gpus[static_cast<std::size_t>(g)].layout_id;
+      for (std::size_t i = 0; i < layout_pool.size(); ++i) {
+        if (layout_pool[i] == current) {
+          gpu_layout[static_cast<std::size_t>(g)] = current;
+          assigned[static_cast<std::size_t>(g)] = true;
+          layout_pool.erase(layout_pool.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  {
+    std::size_t next = 0;
+    for (int g = 0; g < num_gpus_; ++g) {
+      if (assigned[static_cast<std::size_t>(g)]) continue;
+      gpu_layout[static_cast<std::size_t>(g)] = layout_pool[next++];
+    }
+    CLOVER_CHECK(next == layout_pool.size());
+  }
+
+  // Per slice type, how many copies of each variant remain to place.
+  std::array<std::vector<int>, mig::kNumSliceTypes> pool;
+  for (mig::SliceType slice : mig::kAllSliceTypes) {
+    auto& counts = pool[static_cast<std::size_t>(slice)];
+    counts.assign(static_cast<std::size_t>(graph.num_variants()), 0);
+    for (int v = 0; v < graph.num_variants(); ++v)
+      counts[static_cast<std::size_t>(v)] = graph.Weight(v, slice);
+  }
+
+  serving::Deployment deployment;
+  deployment.app = graph.app();
+  deployment.gpus.resize(static_cast<std::size_t>(num_gpus_));
+  constexpr int kUnset = -2;
+  for (int g = 0; g < num_gpus_; ++g) {
+    serving::GpuAssignment& gpu = deployment.gpus[static_cast<std::size_t>(g)];
+    gpu.layout_id = gpu_layout[static_cast<std::size_t>(g)];
+    gpu.variant_ordinals.assign(
+        static_cast<std::size_t>(gpu.layout().NumSlices()), kUnset);
+  }
+
+  // Keep pass: slices retain their current variant when the layout is
+  // unchanged and the graph still demands that pairing.
+  if (anchor != nullptr) {
+    for (int g = 0; g < num_gpus_; ++g) {
+      const serving::GpuAssignment& old_gpu =
+          anchor->gpus[static_cast<std::size_t>(g)];
+      serving::GpuAssignment& new_gpu =
+          deployment.gpus[static_cast<std::size_t>(g)];
+      if (old_gpu.layout_id != new_gpu.layout_id) continue;
+      const mig::MigLayout& layout = new_gpu.layout();
+      for (int s = 0; s < layout.NumSlices(); ++s) {
+        const int prev = old_gpu.variant_ordinals[static_cast<std::size_t>(s)];
+        if (prev == serving::kEmptySlice) continue;
+        const auto type =
+            static_cast<std::size_t>(layout.slices[static_cast<std::size_t>(s)]);
+        if (pool[type][static_cast<std::size_t>(prev)] > 0) {
+          new_gpu.variant_ordinals[static_cast<std::size_t>(s)] = prev;
+          --pool[type][static_cast<std::size_t>(prev)];
+        }
+      }
+    }
+  }
+
+  // Fill pass: remaining demand, highest-quality variants first; surplus
+  // slices stay empty. Any binding is objective-equivalent (MIG isolation).
+  for (int g = 0; g < num_gpus_; ++g) {
+    serving::GpuAssignment& gpu = deployment.gpus[static_cast<std::size_t>(g)];
+    const mig::MigLayout& layout = gpu.layout();
+    for (int s = 0; s < layout.NumSlices(); ++s) {
+      int& slot = gpu.variant_ordinals[static_cast<std::size_t>(s)];
+      if (slot != kUnset) continue;
+      const auto type =
+          static_cast<std::size_t>(layout.slices[static_cast<std::size_t>(s)]);
+      slot = serving::kEmptySlice;
+      for (int v = graph.num_variants() - 1; v >= 0; --v) {
+        if (pool[type][static_cast<std::size_t>(v)] > 0) {
+          slot = v;
+          --pool[type][static_cast<std::size_t>(v)];
+          break;
+        }
+      }
+    }
+  }
+
+  for (const auto& counts : pool)
+    for (int remaining : counts)
+      CLOVER_CHECK_MSG(remaining == 0, "coverage left instances unplaced");
+  deployment.Validate(*zoo_);
+  return deployment;
+}
+
+double NominalCapacityQps(const ConfigGraph& graph,
+                          const models::ModelZoo& zoo) {
+  const models::ModelFamily& family = zoo.ForApplication(graph.app());
+  double capacity = 0.0;
+  for (int v = 0; v < graph.num_variants(); ++v) {
+    for (mig::SliceType slice : mig::kAllSliceTypes) {
+      const int count = graph.Weight(v, slice);
+      if (count == 0) continue;
+      capacity += count * perf::PerfModel::ServiceRate(
+                              family, family.Variant(v), slice);
+    }
+  }
+  return capacity;
+}
+
+}  // namespace clover::graph

@@ -1,0 +1,62 @@
+// Mapping between configuration graphs and concrete deployments, plus
+// capacity estimation used by the controller's deployment guard.
+//
+// Graph -> deployment requires choosing per-GPU layouts that cover the
+// graph's slice demand (mig/decompose.h) and then binding each (variant,
+// slice-type) instance to a physical slice. MIG's isolation makes every
+// binding objective-equivalent, so the binding is deterministic:
+// higher-quality variants are placed first, GPUs are filled in id order,
+// and surplus slices are left empty.
+//
+// Feasibility of a graph for an n-GPU cluster = slice demand coverable by
+// n layouts + every used edge passes the memory-fit predicate + at least
+// one instance.
+#pragma once
+
+#include <optional>
+
+#include "graph/config_graph.h"
+#include "mig/decompose.h"
+
+namespace clover::graph {
+
+class GraphMapper {
+ public:
+  GraphMapper(const models::ModelZoo* zoo, int num_gpus);
+
+  // True iff the graph can be realized on the cluster.
+  bool IsFeasible(const ConfigGraph& graph);
+
+  // Realizes the graph as a deployment, or nullopt when infeasible.
+  // Round-trip property: FromDeployment(ToDeployment(g)) == g.
+  //
+  // When `anchor` (the currently deployed configuration) is given, the
+  // realization minimizes churn against it: GPUs keep their current layout
+  // whenever the chosen layout multiset allows, and slices keep their
+  // current variant whenever the graph still demands that (variant, slice
+  // type) pair. Without this, a 1-edge graph move could repartition every
+  // GPU — paying seconds of downtime per evaluation that the graph
+  // semantics say are unnecessary (any binding is objective-equivalent).
+  std::optional<serving::Deployment> ToDeployment(
+      const ConfigGraph& graph,
+      const serving::Deployment* anchor = nullptr);
+
+  int num_gpus() const { return num_gpus_; }
+  const models::ModelZoo& zoo() const { return *zoo_; }
+  mig::DecompositionSolver& solver() { return solver_; }
+
+ private:
+  const models::ModelZoo* zoo_;
+  int num_gpus_;
+  mig::DecompositionSolver solver_;
+};
+
+// Nominal serving capacity of a configuration: the sum of its instances'
+// service rates (queries/second) from the perf model. A deployment whose
+// nominal capacity is at or below the arrival rate accumulates an unbounded
+// backlog; the controller refuses to *commit* to such configurations even
+// when a short measurement window happened to look compliant.
+double NominalCapacityQps(const ConfigGraph& graph,
+                          const models::ModelZoo& zoo);
+
+}  // namespace clover::graph

@@ -1,0 +1,100 @@
+#include "mig/decompose.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace clover::mig {
+
+DecompositionSolver::DecompositionSolver() {
+  const auto& table = MigConfigTable::Get();
+  layout_counts_.reserve(static_cast<std::size_t>(table.NumLayouts()));
+  for (const MigLayout& layout : table.layouts())
+    layout_counts_.push_back(layout.Counts());
+}
+
+std::uint64_t DecompositionSolver::PackKey(const SliceCounts& demand,
+                                           int n_gpus) {
+  std::uint64_t key = static_cast<std::uint64_t>(n_gpus) & 0xFF;
+  for (int c : demand) {
+    CLOVER_DCHECK(c >= 0 && c < 128);
+    key = (key << 7) | static_cast<std::uint64_t>(c);
+  }
+  return key;
+}
+
+SliceCounts DecompositionSolver::Subtract(const SliceCounts& demand,
+                                          const SliceCounts& supply) {
+  SliceCounts residual{};
+  for (std::size_t i = 0; i < demand.size(); ++i)
+    residual[i] = std::max(0, demand[i] - supply[i]);
+  return residual;
+}
+
+bool DecompositionSolver::Search(const SliceCounts& demand, int n_gpus,
+                                 std::vector<int>* solution) {
+  const bool satisfied =
+      std::all_of(demand.begin(), demand.end(), [](int c) { return c == 0; });
+  if (satisfied) {
+    // Remaining GPUs stay unpartitioned (layout 1) with no hosted models.
+    if (solution != nullptr)
+      for (int i = 0; i < n_gpus; ++i) solution->push_back(1);
+    return true;
+  }
+  if (n_gpus == 0) return false;
+
+  // Capacity pruning: a single GPU supplies 7 compute slots, 8 memory
+  // slices and at most 7 instances.
+  if (TotalComputeSlots(demand) > 7 * n_gpus) return false;
+  if (TotalMemorySlices(demand) > 8 * n_gpus) return false;
+  if (TotalSlices(demand) > 7 * n_gpus) return false;
+
+  const std::uint64_t key = PackKey(demand, n_gpus);
+  if (solution == nullptr) {
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+
+  bool feasible = false;
+  for (std::size_t li = 0; li < layout_counts_.size(); ++li) {
+    const SliceCounts& supply = layout_counts_[li];
+    // Only consider layouts that make progress on the demand; otherwise the
+    // recursion depth is wasted and reconstruction prefers noise layouts.
+    bool progress = false;
+    for (std::size_t t = 0; t < demand.size(); ++t)
+      if (demand[t] > 0 && supply[t] > 0) progress = true;
+    if (!progress) continue;
+
+    const SliceCounts residual = Subtract(demand, supply);
+    if (Search(residual, n_gpus - 1, nullptr)) {
+      feasible = true;
+      if (solution != nullptr) {
+        solution->push_back(static_cast<int>(li) + 1);
+        const bool ok = Search(residual, n_gpus - 1, solution);
+        CLOVER_CHECK(ok);
+      }
+      break;
+    }
+  }
+
+  if (solution == nullptr) memo_.emplace(key, feasible);
+  return feasible;
+}
+
+bool DecompositionSolver::CanCover(const SliceCounts& demand, int n_gpus) {
+  CLOVER_CHECK(n_gpus >= 0);
+  return Search(demand, n_gpus, nullptr);
+}
+
+std::optional<std::vector<int>> DecompositionSolver::ChooseLayouts(
+    const SliceCounts& demand, int n_gpus) {
+  CLOVER_CHECK(n_gpus >= 0);
+  std::vector<int> solution;
+  solution.reserve(static_cast<std::size_t>(n_gpus));
+  if (!Search(demand, n_gpus, &solution)) return std::nullopt;
+  std::sort(solution.begin(), solution.end());
+  CLOVER_CHECK(static_cast<int>(solution.size()) == n_gpus);
+  return solution;
+}
+
+}  // namespace clover::mig

@@ -1,0 +1,66 @@
+// Decomposition of a slice-type multiset into per-GPU MIG layouts.
+//
+// Clover's configuration graph (Sec. 4.2) abstracts away which GPU hosts
+// which slice: the optimizer manipulates edge weights, i.e. a multiset of
+// (variant, slice-type) instances. To deploy a graph on n physical GPUs the
+// used-slice multiset must be *coverable*: there must exist n layouts (from
+// the 19 valid ones, repetition allowed) whose combined slice counts
+// dominate the demanded counts; surplus slices stay empty. This module
+// answers coverability queries and reconstructs a concrete layout
+// assignment. Results are memoized — the SA proposal loop calls this for
+// every candidate move.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mig/mig_config.h"
+
+namespace clover::mig {
+
+// Coverability oracle with memoization. Thread-compatible (not
+// thread-safe); each optimizer owns its own instance.
+class DecompositionSolver {
+ public:
+  DecompositionSolver();
+
+  // True iff `demand` can be covered by `n_gpus` layouts.
+  bool CanCover(const SliceCounts& demand, int n_gpus);
+
+  // Returns layout ids (size n_gpus, ascending) covering `demand`, or
+  // nullopt if impossible. Deterministic: lexicographically smallest
+  // id-sequence among solutions.
+  std::optional<std::vector<int>> ChooseLayouts(const SliceCounts& demand,
+                                                int n_gpus);
+
+  // Memo statistics (for the microbench / tests).
+  std::size_t memo_size() const { return memo_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(std::uint64_t k) const noexcept {
+      k ^= k >> 33;
+      k *= 0xFF51AFD7ED558CCDULL;
+      k ^= k >> 33;
+      return static_cast<std::size_t>(k);
+    }
+  };
+
+  // Packs a residual-demand vector + remaining-GPU count into a memo key.
+  static std::uint64_t PackKey(const SliceCounts& demand, int n_gpus);
+
+  // Residual demand after one layout is applied (component-wise saturating
+  // subtraction).
+  static SliceCounts Subtract(const SliceCounts& demand,
+                              const SliceCounts& supply);
+
+  bool Search(const SliceCounts& demand, int n_gpus,
+              std::vector<int>* solution);
+
+  std::vector<SliceCounts> layout_counts_;  // indexed by layout id - 1
+  std::unordered_map<std::uint64_t, bool, KeyHash> memo_;
+};
+
+}  // namespace clover::mig

@@ -1,0 +1,172 @@
+#include "mig/mig_config.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace clover::mig {
+
+int TotalComputeSlots(const SliceCounts& counts) {
+  int total = 0;
+  for (int t = 0; t < kNumSliceTypes; ++t)
+    total += counts[static_cast<std::size_t>(t)] *
+             ComputeSlots(static_cast<SliceType>(t));
+  return total;
+}
+
+int TotalMemorySlices(const SliceCounts& counts) {
+  int total = 0;
+  for (int t = 0; t < kNumSliceTypes; ++t)
+    total += counts[static_cast<std::size_t>(t)] *
+             MemorySlices(static_cast<SliceType>(t));
+  return total;
+}
+
+int TotalSlices(const SliceCounts& counts) {
+  int total = 0;
+  for (int c : counts) total += c;
+  return total;
+}
+
+SliceCounts MigLayout::Counts() const {
+  SliceCounts counts{};
+  for (SliceType s : slices) ++counts[static_cast<std::size_t>(s)];
+  return counts;
+}
+
+std::string MigLayout::ToString() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    if (i) os << ' ';
+    os << ComputeSlots(slices[i]) << 'g';
+  }
+  os << ']';
+  return os.str();
+}
+
+namespace {
+
+// Placement rules: which profiles may start at a given compute slot.
+bool CanStartAt(SliceType type, int slot) {
+  switch (type) {
+    case SliceType::k7g:
+      return slot == 0;
+    case SliceType::k4g:
+      return slot == 0;
+    case SliceType::k3g:
+      return slot == 0 || slot == 4;
+    case SliceType::k2g:
+      return slot == 0 || slot == 2 || slot == 4;
+    case SliceType::k1g:
+      return true;
+  }
+  return false;
+}
+
+// Depth-first enumeration over slot positions. A slot may be left as a
+// permanent gap, but the finished layout is only *maximal* (a real MIG
+// configuration) when no gap could host a 1g profile — i.e. gaps are legal
+// only if the layout's memory budget ends up exhausted. This is what makes
+// {3g,3g} valid (its middle compute slot is unusable because both 3g
+// instances together consume all 8 memory slices) while excluding
+// {3g,3g,1g}. Maximality cannot be decided greedily left-to-right — the
+// {3g,3g} gap at slot 3 is justified by a 3g placed later at slot 4 — so
+// the gap branch is always explored and validated at the end.
+void Enumerate(int slot, int memory_used, int gaps,
+               std::vector<SliceType>& current,
+               std::vector<std::vector<SliceType>>& out) {
+  if (slot >= kComputeSlots) {
+    const bool maximal = gaps == 0 || memory_used == kMemorySlices;
+    if (!current.empty() && maximal) out.push_back(current);
+    return;
+  }
+  for (SliceType type : kAllSliceTypes) {
+    const int span = ComputeSlots(type);
+    const int mem = MemorySlices(type);
+    if (!CanStartAt(type, slot)) continue;
+    if (slot + span > kComputeSlots) continue;
+    if (memory_used + mem > kMemorySlices) continue;
+    current.push_back(type);
+    Enumerate(slot + span, memory_used + mem, gaps, current, out);
+    current.pop_back();
+  }
+  Enumerate(slot + 1, memory_used, gaps + 1, current, out);
+}
+
+// Canonical ordering (paper Fig. 1 numbering): group by the largest profile
+// present (descending), then by the position of that profile's first
+// occurrence (ascending), then by the slice sequence lexicographically
+// descending by compute-slot width.
+struct CanonicalLess {
+  static int LargestSlot(const std::vector<SliceType>& layout) {
+    int largest = 0;
+    for (SliceType s : layout) largest = std::max(largest, ComputeSlots(s));
+    return largest;
+  }
+  static int PositionOfLargest(const std::vector<SliceType>& layout) {
+    const int largest = LargestSlot(layout);
+    int pos = 0;
+    for (SliceType s : layout) {
+      if (ComputeSlots(s) == largest) return pos;
+      pos += ComputeSlots(s);
+    }
+    return pos;
+  }
+  bool operator()(const std::vector<SliceType>& a,
+                  const std::vector<SliceType>& b) const {
+    const int la = LargestSlot(a), lb = LargestSlot(b);
+    if (la != lb) return la > lb;
+    const int pa = PositionOfLargest(a), pb = PositionOfLargest(b);
+    if (pa != pb) return pa < pb;
+    // Lexicographic descending on compute widths.
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int wa = ComputeSlots(a[i]), wb = ComputeSlots(b[i]);
+      if (wa != wb) return wa > wb;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<SliceType>> EnumerateLayouts() {
+  std::vector<std::vector<SliceType>> out;
+  std::vector<SliceType> current;
+  Enumerate(0, 0, 0, current, out);
+  std::sort(out.begin(), out.end(), CanonicalLess{});
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+MigConfigTable::MigConfigTable() {
+  const auto enumerated = EnumerateLayouts();
+  CLOVER_CHECK_MSG(enumerated.size() == 19,
+                   "A100 placement rules must yield 19 layouts, got "
+                       << enumerated.size());
+  layouts_.reserve(enumerated.size());
+  int id = 1;
+  for (const auto& slices : enumerated)
+    layouts_.push_back(MigLayout{id++, slices});
+}
+
+const MigConfigTable& MigConfigTable::Get() {
+  static const MigConfigTable table;
+  return table;
+}
+
+const MigLayout& MigConfigTable::Layout(int id) const {
+  CLOVER_CHECK_MSG(id >= 1 && id <= NumLayouts(),
+                   "layout id " << id << " out of range");
+  return layouts_[static_cast<std::size_t>(id - 1)];
+}
+
+const MigLayout* MigConfigTable::FindByCounts(const SliceCounts& counts) const {
+  for (const MigLayout& layout : layouts_)
+    if (layout.Counts() == counts) return &layout;
+  return nullptr;
+}
+
+}  // namespace clover::mig

@@ -1,0 +1,3 @@
+// partition.h is header-only today; this TU anchors the library target and
+// will host out-of-line definitions if the cost model grows.
+#include "mig/partition.h"

@@ -1,0 +1,84 @@
+#include "mig/slice_type.h"
+
+#include "common/check.h"
+
+namespace clover::mig {
+
+int ComputeSlots(SliceType type) {
+  switch (type) {
+    case SliceType::k1g:
+      return 1;
+    case SliceType::k2g:
+      return 2;
+    case SliceType::k3g:
+      return 3;
+    case SliceType::k4g:
+      return 4;
+    case SliceType::k7g:
+      return 7;
+  }
+  CLOVER_CHECK_MSG(false, "invalid SliceType");
+  return 0;
+}
+
+int MemorySlices(SliceType type) {
+  switch (type) {
+    case SliceType::k1g:
+      return 1;
+    case SliceType::k2g:
+      return 2;
+    case SliceType::k3g:
+      return 4;
+    case SliceType::k4g:
+      return 4;
+    case SliceType::k7g:
+      return 8;
+  }
+  CLOVER_CHECK_MSG(false, "invalid SliceType");
+  return 0;
+}
+
+double MemoryGb(SliceType type) {
+  return MemorySlices(type) * kMemoryGbPerSlice;
+}
+
+double ComputeFraction(SliceType type) {
+  return static_cast<double>(ComputeSlots(type)) / kComputeSlots;
+}
+
+std::string_view Name(SliceType type) {
+  switch (type) {
+    case SliceType::k1g:
+      return "1g.5gb";
+    case SliceType::k2g:
+      return "2g.10gb";
+    case SliceType::k3g:
+      return "3g.20gb";
+    case SliceType::k4g:
+      return "4g.20gb";
+    case SliceType::k7g:
+      return "7g.40gb";
+  }
+  return "?";
+}
+
+SliceType FromComputeSlots(int slots) {
+  switch (slots) {
+    case 1:
+      return SliceType::k1g;
+    case 2:
+      return SliceType::k2g;
+    case 3:
+      return SliceType::k3g;
+    case 4:
+      return SliceType::k4g;
+    case 7:
+      return SliceType::k7g;
+    default:
+      CLOVER_CHECK_MSG(false, "no MIG profile with " << slots
+                                                     << " compute slots");
+      return SliceType::k1g;
+  }
+}
+
+}  // namespace clover::mig

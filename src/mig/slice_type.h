@@ -1,0 +1,56 @@
+// NVIDIA A100 MIG slice types.
+//
+// An A100-40GB exposes 7 compute slices and 8 memory slices (5 GB each).
+// MIG instances come in five profiles; this module models the resource
+// geometry the Clover optimizer cares about: compute fraction, memory
+// capacity, and the placement rules that constrain which combinations form
+// a valid partition (see mig_config.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace clover::mig {
+
+// Compute-slot and memory-slice geometry of the A100.
+inline constexpr int kComputeSlots = 7;
+inline constexpr int kMemorySlices = 8;
+inline constexpr double kMemoryGbPerSlice = 5.0;
+
+enum class SliceType : std::uint8_t {
+  k1g = 0,  // 1g.5gb
+  k2g = 1,  // 2g.10gb
+  k3g = 2,  // 3g.20gb
+  k4g = 3,  // 4g.20gb
+  k7g = 4,  // 7g.40gb (full GPU)
+};
+
+inline constexpr int kNumSliceTypes = 5;
+
+// All slice types, smallest to largest.
+inline constexpr std::array<SliceType, kNumSliceTypes> kAllSliceTypes = {
+    SliceType::k1g, SliceType::k2g, SliceType::k3g, SliceType::k4g,
+    SliceType::k7g};
+
+// Number of compute slots the profile occupies.
+int ComputeSlots(SliceType type);
+
+// Number of 5 GB memory slices the profile occupies. Note 3g uses 4 memory
+// slices (20 GB) even though it has 3 compute slots — this asymmetry is why
+// {3g,3g,1g} is not a valid A100 partition.
+int MemorySlices(SliceType type);
+
+// Instance memory capacity in GB.
+double MemoryGb(SliceType type);
+
+// Fraction of the GPU's SMs the slice owns (compute slots / 7).
+double ComputeFraction(SliceType type);
+
+// Human-readable profile name ("1g.5gb", …).
+std::string_view Name(SliceType type);
+
+// Maps a compute-slot count {1,2,3,4,7} to its profile; throws otherwise.
+SliceType FromComputeSlots(int slots);
+
+}  // namespace clover::mig

@@ -1,0 +1,25 @@
+#include "models/variant.h"
+
+#include "common/check.h"
+
+namespace clover::models {
+
+std::string_view ApplicationName(Application app) {
+  switch (app) {
+    case Application::kDetection:
+      return "Detection";
+    case Application::kLanguage:
+      return "Language";
+    case Application::kClassification:
+      return "Classification";
+  }
+  return "?";
+}
+
+const ModelVariant& ModelFamily::Variant(int ordinal) const {
+  CLOVER_CHECK_MSG(ordinal >= 0 && ordinal < NumVariants(),
+                   family_name << " has no variant ordinal " << ordinal);
+  return variants[static_cast<std::size_t>(ordinal)];
+}
+
+}  // namespace clover::models

@@ -1,0 +1,105 @@
+#include "models/zoo.h"
+
+#include "common/check.h"
+
+namespace clover::models {
+namespace {
+
+ModelFamily MakeYolo() {
+  ModelFamily family;
+  family.app = Application::kDetection;
+  family.family_name = "YOLOv5";
+  family.dataset = "MS COCO";
+  family.metric = "mAP50-95";
+  family.achieved_peak_fraction = 0.30;
+  family.overhead_ms = 20.0;  // letterboxing + NMS + host transfer
+  // FLOPs are per serving query at the deployment input size (the x6
+  // variant is served at reduced resolution relative to its 1280 px
+  // training size, as production deployments do; the raw 1280 px figure is
+  // 839 GFLOPs). This keeps the l->x6 serving-latency spread at the ~2.5x
+  // observed on real A100 batch-1 serving rather than the 7.7x raw-FLOPs
+  // ratio.
+  family.variants = {
+      // name        ord acc   GFLOPs params weights act  sat-width
+      {"YOLOv5l", 0, 49.0, 109.0, 46.5, 0.19, 2.5, 2.5},
+      {"YOLOv5x", 1, 50.7, 205.0, 86.7, 0.35, 6.5, 4.0},
+      {"YOLOv5x6", 2, 55.0, 560.0, 140.7, 0.56, 12.0, 6.5},
+  };
+  return family;
+}
+
+ModelFamily MakeAlbert() {
+  ModelFamily family;
+  family.app = Application::kLanguage;
+  family.family_name = "ALBERT-v2";
+  family.dataset = "SQuADv2";
+  family.metric = "F1";
+  family.achieved_peak_fraction = 0.35;
+  family.overhead_ms = 15.0;  // tokenization + span post-processing
+  // Effective serving FLOPs: raw encoder FLOPs scale ~47x base->xxlarge at
+  // sequence length 384, but batch-1 serving latency on A100 spreads only
+  // ~8-12x (kernel-launch overheads, shared-parameter cache effects, and
+  // shorter effective sequence lengths dominate the small variants). The
+  // table encodes the serving-effective figures so the perf model
+  // reproduces measured latency ratios.
+  family.variants = {
+      {"ALBERT-base", 0, 79.1, 40.0, 11.8, 0.05, 1.5, 1.2},
+      {"ALBERT-large", 1, 82.1, 100.0, 17.9, 0.07, 2.5, 2.0},
+      {"ALBERT-xlarge", 2, 84.1, 240.0, 58.8, 0.24, 6.0, 3.5},
+      {"ALBERT-xxlarge", 3, 88.1, 750.0, 223.1, 0.89, 11.0, 6.0},
+  };
+  return family;
+}
+
+ModelFamily MakeEfficientNet() {
+  ModelFamily family;
+  family.app = Application::kClassification;
+  family.family_name = "EfficientNet";
+  family.dataset = "ImageNet";
+  family.metric = "top-1 %";
+  family.achieved_peak_fraction = 0.25;  // depthwise convs are bandwidth-bound
+  family.overhead_ms = 25.0;             // decode + resize + normalize
+  family.variants = {
+      {"EfficientNet-B1", 0, 78.8, 0.70, 7.8, 0.03, 0.5, 0.9},
+      {"EfficientNet-B3", 1, 81.5, 1.8, 12.0, 0.05, 0.8, 1.4},
+      {"EfficientNet-B5", 2, 83.3, 9.9, 30.0, 0.12, 2.0, 3.0},
+      {"EfficientNet-B7", 3, 84.4, 37.0, 66.0, 0.26, 5.5, 5.5},
+  };
+  return family;
+}
+
+}  // namespace
+
+ModelZoo::ModelZoo() {
+  families_.push_back(MakeYolo());
+  families_.push_back(MakeAlbert());
+  families_.push_back(MakeEfficientNet());
+  for (const ModelFamily& family : families_) {
+    CLOVER_CHECK(!family.variants.empty());
+    for (int i = 0; i < family.NumVariants(); ++i) {
+      CLOVER_CHECK_MSG(family.variants[static_cast<std::size_t>(i)].ordinal == i,
+                       family.family_name << " variant ordinals must be dense");
+      if (i > 0) {
+        // Variants are ordered by quality: accuracy and compute both grow.
+        const auto& prev = family.variants[static_cast<std::size_t>(i - 1)];
+        const auto& cur = family.variants[static_cast<std::size_t>(i)];
+        CLOVER_CHECK(cur.accuracy > prev.accuracy);
+        CLOVER_CHECK(cur.flops_g > prev.flops_g);
+      }
+    }
+  }
+}
+
+const ModelFamily& ModelZoo::ForApplication(Application app) const {
+  for (const ModelFamily& family : families_)
+    if (family.app == app) return family;
+  CLOVER_CHECK_MSG(false, "no family for application");
+  return families_.front();
+}
+
+const ModelZoo& DefaultZoo() {
+  static const ModelZoo zoo;
+  return zoo;
+}
+
+}  // namespace clover::models

@@ -1,0 +1,35 @@
+// The model zoo: the three applications evaluated in the paper (Table 1).
+//
+//   Object detection      MS COCO    YOLOv5      {l, x, x6}
+//   Language modeling     SQuADv2    ALBERT v2   {base, large, xlarge, xxlarge}
+//   Image classification  ImageNet   EfficientNet{B1, B3, B5, B7}
+//
+// Accuracy numbers come from the public repositories the paper cites
+// (Ultralytics YOLOv5, google-research/albert, lukemelas/EfficientNet-
+// PyTorch); FLOPs/parameters from the model cards (ALBERT at sequence
+// length 384, YOLOv5x6 at 1280 px input). Memory footprints include the
+// activation working set of a batch-1 serving process, which is what
+// determines whether a variant fits a MIG slice (the paper's OOM rule).
+#pragma once
+
+#include "models/variant.h"
+
+namespace clover::models {
+
+// Registry of the three families. Construction is deterministic and cheap;
+// callers usually hold one zoo for the process lifetime.
+class ModelZoo {
+ public:
+  ModelZoo();
+
+  const ModelFamily& ForApplication(Application app) const;
+  const std::vector<ModelFamily>& families() const { return families_; }
+
+ private:
+  std::vector<ModelFamily> families_;
+};
+
+// Convenience: a process-wide immutable zoo.
+const ModelZoo& DefaultZoo();
+
+}  // namespace clover::models

@@ -1,0 +1,156 @@
+#include "opt/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace clover::opt {
+namespace {
+
+EvalRecord MakeRecord(const graph::ConfigGraph& graph,
+                      const EvalOutcome& outcome,
+                      const ObjectiveParams& params, double ci, int order) {
+  EvalRecord record;
+  record.graph = graph;
+  record.metrics = outcome.metrics;
+  record.f = ObjectiveF(outcome.metrics, params, ci);
+  record.delta_carbon_pct = DeltaCarbonPct(outcome.metrics, params, ci);
+  record.delta_accuracy_pct = DeltaAccuracyPct(outcome.metrics, params);
+  record.sla_ok = outcome.sla_ok;
+  record.from_cache = outcome.from_cache;
+  record.order = order;
+  return record;
+}
+
+// Tracks the incumbent best under the SLA-first rule.
+struct BestTracker {
+  bool has_any = false;
+  bool best_sla_ok = false;
+  double best_f = 0.0;
+  double best_violation_ms = 0.0;
+  graph::ConfigGraph best;
+  EvalMetrics best_metrics;
+
+  BestTracker() : best(models::Application::kClassification, 1) {}
+
+  // Returns true when this evaluation became the new best.
+  bool Offer(const graph::ConfigGraph& graph, const EvalMetrics& metrics,
+             double f, bool sla_ok, double l_tail_ms) {
+    const double violation_ms = std::max(0.0, metrics.p95_ms - l_tail_ms);
+    bool better = false;
+    if (!has_any) {
+      better = true;
+    } else if (sla_ok && !best_sla_ok) {
+      better = true;
+    } else if (sla_ok == best_sla_ok) {
+      better = sla_ok ? (f > best_f) : (violation_ms < best_violation_ms);
+    }
+    if (better) {
+      has_any = true;
+      best_sla_ok = sla_ok;
+      best_f = f;
+      best_violation_ms = violation_ms;
+      best = graph;
+      best_metrics = metrics;
+    }
+    return better;
+  }
+};
+
+}  // namespace
+
+SimulatedAnnealing::SimulatedAnnealing(Evaluator* evaluator,
+                                       graph::NeighborSampler* sampler,
+                                       const Options& options,
+                                       std::uint64_t seed)
+    : evaluator_(evaluator),
+      sampler_(sampler),
+      options_(options),
+      accept_rng_(seed, "sa-acceptance") {
+  CLOVER_CHECK(evaluator_ != nullptr && sampler_ != nullptr);
+}
+
+SearchResult SimulatedAnnealing::Run(const graph::ConfigGraph& start,
+                                     const ObjectiveParams& params,
+                                     double ci) {
+  return Run(std::vector<graph::ConfigGraph>{start}, params, ci);
+}
+
+SearchResult SimulatedAnnealing::Run(
+    const std::vector<graph::ConfigGraph>& seeds,
+    const ObjectiveParams& params, double ci) {
+  CLOVER_CHECK(!seeds.empty());
+  SearchResult result;
+  BestTracker tracker;
+
+  int order = 0;
+  // Evaluate every seed (the incumbent deployment first — measuring it is
+  // cheap since no reconfiguration is needed — then any blind probes); the
+  // lowest-energy seed becomes the annealing center.
+  graph::ConfigGraph center = seeds.front();
+  double center_h = 0.0;
+  bool have_center = false;
+  for (const graph::ConfigGraph& seed : seeds) {
+    EvalOutcome outcome = evaluator_->Evaluate(seed);
+    result.elapsed_seconds += outcome.cost_seconds;
+    if (outcome.from_cache) ++result.cache_hits;
+    EvalRecord record = MakeRecord(seed, outcome, params, ci, order++);
+    result.evaluations.push_back(record);
+    tracker.Offer(seed, outcome.metrics, record.f, outcome.sla_ok,
+                  params.l_tail_ms);
+    const double h =
+        AnnealEnergyH(record.f, outcome.metrics.p95_ms, params.l_tail_ms);
+    if (!have_center || h < center_h) {
+      center = seed;
+      center_h = h;
+      have_center = true;
+    }
+    if (result.elapsed_seconds >= options_.time_budget_s) break;
+  }
+
+  double temperature = options_.t0;
+  int consecutive_no_improve = 0;
+
+  while (result.elapsed_seconds < options_.time_budget_s &&
+         consecutive_no_improve < options_.no_improve_limit &&
+         order < options_.max_evaluations) {
+    const auto candidate = sampler_->Sample(center);
+    if (!candidate.has_value()) break;  // neighborhood exhausted
+
+    EvalOutcome outcome = evaluator_->Evaluate(*candidate);
+    result.elapsed_seconds += outcome.cost_seconds;
+    if (outcome.from_cache) ++result.cache_hits;
+    EvalRecord record = MakeRecord(*candidate, outcome, params, ci, order++);
+    result.evaluations.push_back(record);
+
+    const bool improved =
+        tracker.Offer(*candidate, outcome.metrics, record.f, outcome.sla_ok,
+                      params.l_tail_ms);
+    consecutive_no_improve = improved ? 0 : consecutive_no_improve + 1;
+
+    const double candidate_h =
+        AnnealEnergyH(record.f, outcome.metrics.p95_ms, params.l_tail_ms);
+    bool accept = candidate_h <= center_h;
+    if (!accept) {
+      const double probability =
+          std::exp(-(candidate_h - center_h) / temperature);
+      accept = accept_rng_.NextDouble() < probability;
+    }
+    if (accept) {
+      center = *candidate;
+      center_h = candidate_h;
+    }
+    temperature = std::max(options_.t_min,
+                           temperature - options_.cooling_step);
+  }
+
+  CLOVER_CHECK(tracker.has_any);
+  result.best = tracker.best;
+  result.best_metrics = tracker.best_metrics;
+  result.best_f = tracker.best_f;
+  result.best_sla_ok = tracker.best_sla_ok;
+  return result;
+}
+
+}  // namespace clover::opt

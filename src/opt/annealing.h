@@ -1,0 +1,84 @@
+// Simulated annealing in the graph-represented search space (paper
+// Sec. 4.2).
+//
+// Schedule: T starts at 1.0, cools linearly by 0.05 per iteration down to
+// 0.1. A proposal within the GED-4 neighborhood of the current center is
+// measured (through the caching evaluator, so revisited graphs are free);
+// it is accepted when h(x') <= h(x) and otherwise with probability
+// exp(-(h(x') - h(x)) / T). The run terminates at a wall-time budget
+// (5 simulated minutes) or after 5 consecutive evaluations without finding
+// a new best.
+//
+// "Best" respects the SLA constraint: among SLA-compliant evaluations the
+// highest f wins; if nothing compliant has been seen yet, the least
+// violating configuration is tracked as a fallback (the paper's invocation
+// I "settles with the only SLA-compliant configuration it has found" —
+// compliance is required before anything else).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/neighbors.h"
+#include "opt/evaluator.h"
+#include "opt/objective.h"
+
+namespace clover::opt {
+
+// One evaluated configuration, for Figs. 12-13 style introspection.
+struct EvalRecord {
+  graph::ConfigGraph graph;
+  EvalMetrics metrics;
+  double f = 0.0;
+  double delta_carbon_pct = 0.0;
+  double delta_accuracy_pct = 0.0;
+  bool sla_ok = false;
+  bool from_cache = false;
+  int order = 0;  // evaluation sequence within the run
+
+  EvalRecord() : graph(models::Application::kClassification, 1) {}
+};
+
+struct SearchResult {
+  graph::ConfigGraph best;
+  EvalMetrics best_metrics;
+  double best_f = 0.0;
+  bool best_sla_ok = false;
+  std::vector<EvalRecord> evaluations;
+  double elapsed_seconds = 0.0;  // total (simulated) time spent evaluating
+  int cache_hits = 0;
+
+  SearchResult() : best(models::Application::kClassification, 1) {}
+};
+
+class SimulatedAnnealing {
+ public:
+  struct Options {
+    double t0 = 1.0;
+    double cooling_step = 0.05;
+    double t_min = 0.1;
+    int no_improve_limit = 5;
+    double time_budget_s = 300.0;  // the paper's 5-minute cap
+    int max_evaluations = 1000;    // hard safety stop
+  };
+
+  SimulatedAnnealing(Evaluator* evaluator, graph::NeighborSampler* sampler,
+                     const Options& options, std::uint64_t seed);
+
+  // Runs one optimization invocation from `start` at carbon intensity `ci`.
+  SearchResult Run(const graph::ConfigGraph& start,
+                   const ObjectiveParams& params, double ci);
+
+  // Multi-seed variant: evaluates every seed (the blind probes of a cold
+  // start plus the incumbent), then anneals from the lowest-energy one.
+  SearchResult Run(const std::vector<graph::ConfigGraph>& seeds,
+                   const ObjectiveParams& params, double ci);
+
+ private:
+  Evaluator* evaluator_;
+  graph::NeighborSampler* sampler_;
+  Options options_;
+  RngStream accept_rng_;
+};
+
+}  // namespace clover::opt

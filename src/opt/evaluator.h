@@ -1,0 +1,108 @@
+// Configuration evaluators.
+//
+// Clover is an *online* system: a candidate configuration is evaluated by
+// deploying it on the production cluster and measuring accuracy, energy and
+// tail latency for a short window (the cost of which — repartitioning,
+// model reloads, and any SLA damage a bad candidate causes — is part of the
+// run, paper Sec. 4.3/5.2.2).
+//
+//   SimEvaluator      deploy + measure on the live ClusterSim
+//   CachingEvaluator  wraps another evaluator with a graph-keyed cache —
+//                     revisited graphs are "saved" evaluations (Fig. 12b)
+//   AnalyticEvaluator closed-form steady-state estimate; used by tests and
+//                     available for offline what-if analysis
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "graph/config_graph.h"
+#include "graph/mapping.h"
+#include "opt/objective.h"
+#include "sim/cluster_sim.h"
+
+namespace clover::opt {
+
+struct EvalOutcome {
+  EvalMetrics metrics;
+  bool sla_ok = false;
+  bool from_cache = false;
+  double cost_seconds = 0.0;  // wall (simulated) time the evaluation took
+};
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+  virtual EvalOutcome Evaluate(const graph::ConfigGraph& graph) = 0;
+};
+
+// Deploys each candidate on the live cluster simulator and measures it.
+class SimEvaluator : public Evaluator {
+ public:
+  struct Options {
+    // Queue-settle period between the reconfiguration completing and the
+    // measurement starting: the backlog accumulated while GPUs were offline
+    // drains, so the measurement reflects the candidate's steady state, not
+    // the reconfiguration transient. Both phases are paid in simulated time.
+    double settle_s = 8.0;
+    double measure_window_s = 12.0;
+    double l_tail_ms = 0.0;  // SLA for the sla_ok verdict
+  };
+
+  SimEvaluator(sim::ClusterSim* sim, graph::GraphMapper* mapper,
+               const Options& options);
+
+  EvalOutcome Evaluate(const graph::ConfigGraph& graph) override;
+
+ private:
+  sim::ClusterSim* sim_;
+  graph::GraphMapper* mapper_;
+  Options options_;
+};
+
+// Graph-keyed memoization. Cached entries return instantly (cost 0) — the
+// "Saved" share of Fig. 12(b). Note the cache stores (A, E, L); the
+// CI-dependent objective is recomputed by the caller, so entries stay valid
+// across carbon-intensity changes.
+class CachingEvaluator : public Evaluator {
+ public:
+  explicit CachingEvaluator(Evaluator* inner);
+
+  EvalOutcome Evaluate(const graph::ConfigGraph& graph) override;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+ private:
+  struct Entry {
+    graph::ConfigGraph graph;  // collision guard
+    EvalOutcome outcome;
+  };
+  Evaluator* inner_;
+  std::unordered_map<std::uint64_t, Entry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Closed-form steady-state estimate of a configuration's metrics under
+// accuracy-greedy dispatch: high-accuracy instances saturate first, the
+// remainder spills to lower-accuracy instances; energy is static power plus
+// busy-time dynamic power; p95 approximates the latency distribution of the
+// serving mix with an M/G/m-style queueing inflation near saturation.
+class AnalyticEvaluator : public Evaluator {
+ public:
+  AnalyticEvaluator(const models::ModelZoo* zoo, int num_gpus,
+                    double arrival_rate_qps, double l_tail_ms);
+
+  EvalOutcome Evaluate(const graph::ConfigGraph& graph) override;
+
+ private:
+  const models::ModelZoo* zoo_;
+  int num_gpus_;
+  double arrival_rate_qps_;
+  double l_tail_ms_;
+};
+
+}  // namespace clover::opt

@@ -1,0 +1,93 @@
+#include "opt/random_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "graph/neighbors.h"
+#include "perf/perf_model.h"
+
+namespace clover::opt {
+
+RandomSearch::RandomSearch(Evaluator* evaluator, graph::GraphMapper* mapper,
+                           const Options& options, std::uint64_t seed)
+    : evaluator_(evaluator),
+      mapper_(mapper),
+      options_(options),
+      rng_(seed, "blover-random-search") {
+  CLOVER_CHECK(evaluator_ != nullptr && mapper_ != nullptr);
+}
+
+graph::ConfigGraph RandomSearch::SampleConfiguration(models::Application app) {
+  return graph::SampleRandomConfiguration(*mapper_, rng_, app,
+                                          options_.empty_slice_probability);
+}
+
+SearchResult RandomSearch::Run(const graph::ConfigGraph& start,
+                               const ObjectiveParams& params, double ci) {
+  SearchResult result;
+
+  // Local SLA-first best tracking (mirrors the annealer's rule).
+  bool best_sla_ok = false;
+  double best_f = 0.0;
+  double best_violation = 0.0;
+  bool has_best = false;
+
+  auto consider = [&](const graph::ConfigGraph& graph,
+                      const EvalOutcome& outcome, const EvalRecord& record) {
+    const double violation =
+        std::max(0.0, outcome.metrics.p95_ms - params.l_tail_ms);
+    bool better = false;
+    if (!has_best) {
+      better = true;
+    } else if (outcome.sla_ok && !best_sla_ok) {
+      better = true;
+    } else if (outcome.sla_ok == best_sla_ok) {
+      better = outcome.sla_ok ? (record.f > best_f)
+                              : (violation < best_violation);
+    }
+    if (better) {
+      has_best = true;
+      best_sla_ok = outcome.sla_ok;
+      best_f = record.f;
+      best_violation = violation;
+      result.best = graph;
+      result.best_metrics = outcome.metrics;
+      result.best_f = record.f;
+      result.best_sla_ok = outcome.sla_ok;
+    }
+    return better;
+  };
+
+  auto evaluate = [&](const graph::ConfigGraph& graph, int order) {
+    EvalOutcome outcome = evaluator_->Evaluate(graph);
+    result.elapsed_seconds += outcome.cost_seconds;
+    if (outcome.from_cache) ++result.cache_hits;
+    EvalRecord record;
+    record.graph = graph;
+    record.metrics = outcome.metrics;
+    record.f = ObjectiveF(outcome.metrics, params, ci);
+    record.delta_carbon_pct = DeltaCarbonPct(outcome.metrics, params, ci);
+    record.delta_accuracy_pct = DeltaAccuracyPct(outcome.metrics, params);
+    record.sla_ok = outcome.sla_ok;
+    record.from_cache = outcome.from_cache;
+    record.order = order;
+    result.evaluations.push_back(record);
+    return consider(graph, outcome, record);
+  };
+
+  int order = 0;
+  evaluate(start, order++);
+
+  int consecutive_no_improve = 0;
+  while (result.elapsed_seconds < options_.time_budget_s &&
+         consecutive_no_improve < options_.no_improve_limit &&
+         order < options_.max_evaluations) {
+    const graph::ConfigGraph candidate = SampleConfiguration(start.app());
+    const bool improved = evaluate(candidate, order++);
+    consecutive_no_improve = improved ? 0 : consecutive_no_improve + 1;
+  }
+  return result;
+}
+
+}  // namespace clover::opt

@@ -1,0 +1,48 @@
+// Blover's search: random sampling in the original (x_p, x_v) space
+// (paper Sec. 5.1, "Competing schemes").
+//
+// Blover implements all of Clover's design except the graph-based
+// optimization: same objective, same SLA rule, same termination condition
+// (time budget or 5 consecutive evaluations without a new best), but each
+// candidate is drawn uniformly at random — a random layout for every GPU
+// and a random fitting variant (or empty) for every slice — and evaluated
+// by deployment, with no neighborhood structure and no evaluation cache.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/mapping.h"
+#include "opt/annealing.h"  // SearchResult / EvalRecord
+#include "opt/evaluator.h"
+
+namespace clover::opt {
+
+class RandomSearch {
+ public:
+  struct Options {
+    int no_improve_limit = 5;
+    double time_budget_s = 300.0;
+    int max_evaluations = 1000;
+    // Probability a slice is left empty when sampling x_v.
+    double empty_slice_probability = 0.1;
+  };
+
+  RandomSearch(Evaluator* evaluator, graph::GraphMapper* mapper,
+               const Options& options, std::uint64_t seed);
+
+  // Runs one invocation starting from (and first measuring) `start`.
+  SearchResult Run(const graph::ConfigGraph& start,
+                   const ObjectiveParams& params, double ci);
+
+  // Draws one uniformly random feasible configuration (exposed for tests).
+  graph::ConfigGraph SampleConfiguration(models::Application app);
+
+ private:
+  Evaluator* evaluator_;
+  graph::GraphMapper* mapper_;
+  Options options_;
+  RngStream rng_;
+};
+
+}  // namespace clover::opt

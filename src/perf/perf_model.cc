@@ -1,0 +1,49 @@
+#include "perf/perf_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "perf/calibration.h"
+
+namespace clover::perf {
+
+double PerfModel::LatencyMs(const models::ModelFamily& family,
+                            const models::ModelVariant& variant,
+                            mig::SliceType slice) {
+  CLOVER_DCHECK(Fits(variant, slice));
+  const double width = mig::ComputeSlots(slice);
+  const double effective_slices =
+      std::min(width, variant.saturation_slices);
+  const double tflops =
+      kGpuPeakTflops * (effective_slices / mig::kComputeSlots) *
+      family.achieved_peak_fraction;
+  const double compute_seconds = variant.flops_g / (tflops * 1e3);
+  return family.overhead_ms + SecondsToMs(compute_seconds);
+}
+
+double PerfModel::SmUtilization(const models::ModelVariant& variant,
+                                mig::SliceType slice) {
+  const double width = mig::ComputeSlots(slice);
+  return std::min(1.0, variant.saturation_slices / width);
+}
+
+bool PerfModel::Fits(const models::ModelVariant& variant,
+                     mig::SliceType slice) {
+  return variant.TotalMemGb() <= mig::MemoryGb(slice);
+}
+
+mig::SliceType PerfModel::MinSlice(const models::ModelVariant& variant) {
+  for (mig::SliceType slice : mig::kAllSliceTypes)
+    if (Fits(variant, slice)) return slice;
+  CLOVER_CHECK_MSG(false, variant.name << " does not fit any MIG slice");
+  return mig::SliceType::k7g;
+}
+
+double PerfModel::ServiceRate(const models::ModelFamily& family,
+                              const models::ModelVariant& variant,
+                              mig::SliceType slice) {
+  return 1e3 / LatencyMs(family, variant, slice);
+}
+
+}  // namespace clover::perf

@@ -1,0 +1,52 @@
+// Roofline-style performance model: latency and SM utilization of a model
+// variant hosted on a MIG slice.
+//
+// The model captures the three effects Clover exploits (paper Sec. 3):
+//  1. Larger variants cost more FLOPs -> more time and energy per query.
+//  2. A variant can only keep `saturation_slices` compute slices busy;
+//     hosting a small model on a big slice wastes the surplus (low SM
+//     utilization -> poor energy efficiency), which is why partitioning
+//     saves carbon (Fig. 3).
+//  3. A big variant on a small slice is starved: compute time stretches by
+//     the ratio of saturation width to slice width -> SLA violations.
+//
+//    latency(v, s)  = overhead(v) + flops(v) / (peak * min(width_s, w_v)/7 * kappa)
+//    utilization(v, s) = min(1, w_v / width_s)      (while serving)
+//
+// plus the memory-fit predicate implementing the paper's OOM rule
+// ("disabling the edge connection ... if out-of-memory errors would occur").
+#pragma once
+
+#include "mig/slice_type.h"
+#include "models/variant.h"
+
+namespace clover::perf {
+
+class PerfModel {
+ public:
+  // Service latency (milliseconds) of one inference query of `variant`
+  // (from `family`) on a slice of type `slice`, excluding queueing and
+  // jitter. Requires Fits(variant, slice).
+  static double LatencyMs(const models::ModelFamily& family,
+                          const models::ModelVariant& variant,
+                          mig::SliceType slice);
+
+  // Fraction of the slice's SMs the variant keeps busy while serving.
+  static double SmUtilization(const models::ModelVariant& variant,
+                              mig::SliceType slice);
+
+  // Memory-fit predicate: weights + activation working set vs slice memory.
+  static bool Fits(const models::ModelVariant& variant, mig::SliceType slice);
+
+  // The smallest slice type that can host the variant; used to build the
+  // "disabled edges" of the configuration graph. Every variant in the zoo
+  // fits at least a 7g slice.
+  static mig::SliceType MinSlice(const models::ModelVariant& variant);
+
+  // Service rate in queries/second (1 / latency).
+  static double ServiceRate(const models::ModelFamily& family,
+                            const models::ModelVariant& variant,
+                            mig::SliceType slice);
+};
+
+}  // namespace clover::perf

@@ -1,0 +1,26 @@
+#include "power/energy_meter.h"
+
+#include "common/check.h"
+
+namespace clover::power {
+
+EnergyMeter::EnergyMeter(int num_gpus) : num_gpus_(num_gpus) {
+  CLOVER_CHECK(num_gpus > 0);
+}
+
+void EnergyMeter::AddBusy(double busy_seconds, double dynamic_watts) {
+  CLOVER_DCHECK(busy_seconds >= 0.0 && dynamic_watts >= 0.0);
+  pending_dynamic_joules_ += busy_seconds * dynamic_watts;
+}
+
+double EnergyMeter::DrainWindowJoules(double window_seconds) {
+  CLOVER_CHECK(window_seconds >= 0.0);
+  const double joules =
+      PowerModel::StaticWattsPerGpu() * num_gpus_ * window_seconds +
+      pending_dynamic_joules_;
+  pending_dynamic_joules_ = 0.0;
+  total_joules_ += joules;
+  return joules;
+}
+
+}  // namespace clover::power

@@ -1,0 +1,43 @@
+// Busy-time energy accounting (the repo's carbontracker stand-in).
+//
+// The simulator credits each service instance's busy intervals to this
+// meter; at window boundaries the meter converts busy-seconds into joules
+// using the power model and resets. The carbon accountant
+// (carbon/accountant.h) then multiplies window energy by the window's
+// carbon intensity, mirroring how the paper's modified carbontracker
+// samples energy and CI per interval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/power_model.h"
+
+namespace clover::power {
+
+class EnergyMeter {
+ public:
+  // `num_gpus` physical GPUs, each with StaticWattsPerGpu() of base draw.
+  explicit EnergyMeter(int num_gpus);
+
+  // Credits `busy_seconds` of service on a slice whose dynamic draw is
+  // `dynamic_watts` (from PowerModel::DynamicWatts at deploy time).
+  void AddBusy(double busy_seconds, double dynamic_watts);
+
+  // Energy of the whole cluster over a window of `window_seconds`, joules
+  // (IT energy; PUE is applied at carbon-accounting time). Consumes and
+  // resets the accumulated busy energy.
+  double DrainWindowJoules(double window_seconds);
+
+  // Running total across all drained windows (IT joules).
+  double total_joules() const { return total_joules_; }
+
+  int num_gpus() const { return num_gpus_; }
+
+ private:
+  int num_gpus_;
+  double pending_dynamic_joules_ = 0.0;
+  double total_joules_ = 0.0;
+};
+
+}  // namespace clover::power

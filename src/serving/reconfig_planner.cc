@@ -1,0 +1,55 @@
+#include "serving/reconfig_planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace clover::serving {
+
+double ReconfigPlan::MaxOfflineSeconds() const {
+  double max_offline = 0.0;
+  for (const GpuReconfigPlan& gpu : gpus)
+    max_offline = std::max(max_offline, gpu.offline_seconds);
+  return max_offline;
+}
+
+ReconfigPlan PlanReconfiguration(const Deployment& from, const Deployment& to,
+                                 const models::ModelZoo& zoo,
+                                 const mig::RepartitionCostModel& cost) {
+  CLOVER_CHECK(from.NumGpus() == to.NumGpus());
+  CLOVER_CHECK(from.app == to.app);
+  const models::ModelFamily& family = zoo.ForApplication(to.app);
+
+  ReconfigPlan plan;
+  for (int g = 0; g < to.NumGpus(); ++g) {
+    const GpuAssignment& old_gpu = from.gpus[static_cast<std::size_t>(g)];
+    const GpuAssignment& new_gpu = to.gpus[static_cast<std::size_t>(g)];
+
+    GpuReconfigPlan gpu_plan;
+    gpu_plan.gpu_index = g;
+    gpu_plan.layout_changed = old_gpu.layout_id != new_gpu.layout_id;
+
+    double max_params = 0.0;
+    const auto& new_ordinals = new_gpu.variant_ordinals;
+    for (std::size_t s = 0; s < new_ordinals.size(); ++s) {
+      const int ordinal = new_ordinals[s];
+      if (ordinal == kEmptySlice) continue;
+      const bool variant_changed =
+          gpu_plan.layout_changed || s >= old_gpu.variant_ordinals.size() ||
+          old_gpu.variant_ordinals[s] != ordinal;
+      if (!variant_changed) continue;
+      ++gpu_plan.instances_restarted;
+      max_params = std::max(max_params, family.Variant(ordinal).params_m);
+    }
+
+    if (!gpu_plan.layout_changed && gpu_plan.instances_restarted == 0)
+      continue;  // GPU untouched
+
+    gpu_plan.offline_seconds =
+        cost.NodeOfflineSeconds(gpu_plan.layout_changed, max_params);
+    plan.gpus.push_back(gpu_plan);
+  }
+  return plan;
+}
+
+}  // namespace clover::serving

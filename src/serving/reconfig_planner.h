@@ -1,0 +1,37 @@
+// Reconfiguration planning: the per-GPU cost of moving between deployments.
+//
+// Clover pays real time for every candidate it evaluates: MIG repartition
+// (destroy + create instances) when the layout changes, plus model-server
+// restarts on slices whose variant changed. Unchanged GPUs keep serving.
+// The paper includes "the time taken to re-partition the hardware and
+// reinitialize the new service instances" in all results (Sec. 4.3).
+#pragma once
+
+#include <vector>
+
+#include "serving/deployment.h"
+
+namespace clover::serving {
+
+struct GpuReconfigPlan {
+  int gpu_index = 0;
+  bool layout_changed = false;
+  int instances_restarted = 0;   // slices whose variant changed
+  double offline_seconds = 0.0;  // time the GPU serves no traffic
+};
+
+struct ReconfigPlan {
+  std::vector<GpuReconfigPlan> gpus;  // only GPUs with work to do
+
+  // Max over GPUs (nodes reconfigure in parallel); 0 when nothing changes.
+  double MaxOfflineSeconds() const;
+  bool Empty() const { return gpus.empty(); }
+};
+
+// Computes the plan to move `from` -> `to`. Both deployments must have the
+// same GPU count and application.
+ReconfigPlan PlanReconfiguration(const Deployment& from, const Deployment& to,
+                                 const models::ModelZoo& zoo,
+                                 const mig::RepartitionCostModel& cost = {});
+
+}  // namespace clover::serving

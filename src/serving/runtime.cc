@@ -1,0 +1,167 @@
+#include "serving/runtime.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "perf/perf_model.h"
+
+namespace clover::serving {
+
+InferenceRuntime::InferenceRuntime(const Deployment& deployment,
+                                   const models::ModelZoo& zoo,
+                                   const Options& options)
+    : options_(options), worker_cv_(deployment.Instances().size()) {
+  deployment.Validate(zoo);
+  const models::ModelFamily& family = zoo.ForApplication(deployment.app);
+  for (const InstanceSpec& spec : deployment.Instances()) {
+    Instance instance;
+    instance.spec = spec;
+    const models::ModelVariant& variant = family.Variant(spec.variant_ordinal);
+    instance.accuracy = variant.accuracy;
+    instance.service_ms = perf::PerfModel::LatencyMs(family, variant,
+                                                     spec.slice);
+    instances_.push_back(instance);
+  }
+  has_assignment_.assign(instances_.size(), false);
+  assignment_.resize(instances_.size());
+}
+
+InferenceRuntime::InferenceRuntime(const Deployment& deployment,
+                                   const models::ModelZoo& zoo)
+    : InferenceRuntime(deployment, zoo, Options()) {}
+
+InferenceRuntime::~InferenceRuntime() { Drain(); }
+
+void InferenceRuntime::Start() {
+  CLOVER_CHECK_MSG(!started_, "runtime already started");
+  started_ = true;
+  dispatcher_ = std::thread(&InferenceRuntime::DispatcherLoop, this);
+  workers_.reserve(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    workers_.emplace_back(&InferenceRuntime::WorkerLoop, this, i);
+}
+
+bool InferenceRuntime::Submit() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_not_full_.wait(lock, [&] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) return false;
+  queue_.push_back(QueuedRequest{std::chrono::steady_clock::now()});
+  ++submitted_;
+  work_available_.notify_one();
+  return true;
+}
+
+void InferenceRuntime::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Second call: threads may already be joined; fall through to joins.
+    }
+    stopping_ = true;
+    work_available_.notify_all();
+    queue_not_full_.notify_all();
+    all_done_.wait(lock, [&] { return completed_ == submitted_; });
+    for (auto& cv : worker_cv_) cv.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+int InferenceRuntime::PickBestIdleInstanceLocked() const {
+  int best = -1;
+  double best_accuracy = -1.0;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].busy || has_assignment_[i]) continue;
+    if (instances_[i].accuracy > best_accuracy) {
+      best_accuracy = instances_[i].accuracy;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void InferenceRuntime::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // stopping_ and nothing left to dispatch.
+      CLOVER_DCHECK(stopping_);
+      return;
+    }
+    int target = PickBestIdleInstanceLocked();
+    while (target < 0) {
+      instance_freed_.wait(lock);
+      target = PickBestIdleInstanceLocked();
+    }
+    const auto t = static_cast<std::size_t>(target);
+    instances_[t].busy = true;
+    has_assignment_[t] = true;
+    assignment_[t] = queue_.front();
+    queue_.pop_front();
+    ++in_flight_;
+    queue_not_full_.notify_one();
+    worker_cv_[t].notify_one();
+  }
+}
+
+void InferenceRuntime::WorkerLoop(std::size_t instance_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    worker_cv_[instance_index].wait(lock, [&] {
+      return has_assignment_[instance_index] ||
+             (stopping_ && completed_ == submitted_);
+    });
+    if (!has_assignment_[instance_index]) return;
+
+    const QueuedRequest request = assignment_[instance_index];
+    has_assignment_[instance_index] = false;
+    Instance& instance = instances_[instance_index];
+    const double scaled_ms = instance.service_ms * options_.time_scale;
+    lock.unlock();
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(scaled_ms));
+    const auto now = std::chrono::steady_clock::now();
+
+    lock.lock();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(now - request.enqueue_time)
+            .count();
+    latencies_ms_.Add(wall_ms / options_.time_scale);
+    latency_sum_ms_ += wall_ms / options_.time_scale;
+    accuracy_weighted_sum_ += instance.accuracy;
+    ++instance.served;
+    ++completed_;
+    --in_flight_;
+    instance.busy = false;
+    instance_freed_.notify_all();
+    if (completed_ == submitted_) {
+      all_done_.notify_all();
+      // Wake peers so they can re-evaluate the exit predicate.
+      if (stopping_)
+        for (auto& cv : worker_cv_) cv.notify_all();
+    }
+  }
+}
+
+InferenceRuntime::Stats InferenceRuntime::SnapshotStats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.submitted = submitted_;
+  stats.completed = completed_;
+  stats.p95_latency_ms = latencies_ms_.Quantile(0.95);
+  stats.mean_latency_ms =
+      completed_ > 0 ? latency_sum_ms_ / static_cast<double>(completed_) : 0.0;
+  stats.weighted_accuracy =
+      completed_ > 0 ? accuracy_weighted_sum_ / static_cast<double>(completed_)
+                     : 0.0;
+  for (const Instance& instance : instances_)
+    stats.served_per_instance.push_back(instance.served);
+  return stats;
+}
+
+}  // namespace clover::serving

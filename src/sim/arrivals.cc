@@ -1,0 +1,31 @@
+#include "sim/arrivals.h"
+
+#include "common/check.h"
+#include "common/units.h"
+#include "perf/perf_model.h"
+
+namespace clover::sim {
+
+PoissonArrivals::PoissonArrivals(double rate_qps, std::uint64_t seed)
+    : rate_qps_(rate_qps), rng_(seed, "poisson-arrivals") {
+  CLOVER_CHECK(rate_qps_ > 0.0);
+  next_time_ = rng_.NextExponential(rate_qps_);
+}
+
+double PoissonArrivals::NextArrivalTime() {
+  const double t = next_time_;
+  next_time_ += rng_.NextExponential(rate_qps_);
+  return t;
+}
+
+double SizeArrivalRate(const models::ModelZoo& zoo, models::Application app,
+                       int num_gpus, double target_utilization) {
+  CLOVER_CHECK(num_gpus > 0);
+  CLOVER_CHECK(target_utilization > 0.0 && target_utilization < 1.0);
+  const models::ModelFamily& family = zoo.ForApplication(app);
+  const double service_s = MsToSeconds(perf::PerfModel::LatencyMs(
+      family, family.Largest(), mig::SliceType::k7g));
+  return target_utilization * static_cast<double>(num_gpus) / service_s;
+}
+
+}  // namespace clover::sim

@@ -1,0 +1,37 @@
+// Poisson arrival process (paper Sec. 5.1: "We model the user queries using
+// Poisson distribution, following the standard methodology").
+//
+// The rate is chosen per application so the BASE deployment runs at a
+// target utilization ("neither resource starvation nor idle GPUs");
+// SizeArrivalRate implements that sizing rule from the perf model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "models/zoo.h"
+
+namespace clover::sim {
+
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate_qps, std::uint64_t seed);
+
+  // Time of the next arrival at/after the current position.
+  double NextArrivalTime();
+
+  double rate_qps() const { return rate_qps_; }
+
+ private:
+  double rate_qps_;
+  double next_time_ = 0.0;
+  RngStream rng_;
+};
+
+// The BASE-utilization sizing rule: rate such that `num_gpus` unpartitioned
+// GPUs each hosting the family's largest variant run at `target_utilization`
+// busy fraction.
+double SizeArrivalRate(const models::ModelZoo& zoo, models::Application app,
+                       int num_gpus, double target_utilization = 0.75);
+
+}  // namespace clover::sim

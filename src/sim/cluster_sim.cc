@@ -1,0 +1,359 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+namespace clover::sim {
+
+ClusterSim::ClusterSim(serving::Deployment initial,
+                       const models::ModelZoo& zoo,
+                       const carbon::CarbonTrace* trace,
+                       const SimOptions& options)
+    : zoo_(&zoo),
+      trace_(trace),
+      options_(options),
+      deployment_(std::move(initial)),
+      arrivals_(options.arrival_rate_qps, options.seed),
+      jitter_rng_(options.seed, "service-jitter"),
+      meter_(deployment_.NumGpus()),
+      accountant_(trace, options.pue) {
+  deployment_.Validate(zoo);
+  CLOVER_CHECK(options_.window_seconds > 0.0);
+  BuildInstances(deployment_,
+                 std::vector<double>(
+                     static_cast<std::size_t>(deployment_.NumGpus()), 0.0));
+  pending_arrival_ = arrivals_.NextArrivalTime();
+}
+
+void ClusterSim::BuildInstances(const serving::Deployment& deployment,
+                                const std::vector<double>& online_at_per_gpu) {
+  // Carries over instances of unaffected GPUs (matched by gpu/slice/variant)
+  // is handled by the caller via ApplyDeployment; this builds from scratch,
+  // preserving `old` entries passed back in instances_ beforehand.
+  const models::ModelFamily& family = zoo_->ForApplication(deployment.app);
+  instances_.clear();
+  for (const serving::InstanceSpec& spec : deployment.Instances()) {
+    SimInstance instance;
+    instance.id = next_id_++;
+    instance.gpu_index = spec.gpu_index;
+    const models::ModelVariant& variant = family.Variant(spec.variant_ordinal);
+    instance.base_service_ms =
+        perf::PerfModel::LatencyMs(family, variant, spec.slice);
+    instance.dynamic_watts = power::PowerModel::DynamicWatts(variant,
+                                                             spec.slice);
+    instance.accuracy = variant.accuracy;
+    instance.online_at =
+        online_at_per_gpu[static_cast<std::size_t>(spec.gpu_index)];
+    instances_.push_back(instance);
+  }
+  CLOVER_CHECK_MSG(instances_.size() <= kMaxInstances,
+                   "instance count " << instances_.size()
+                                     << " exceeds simulator capacity");
+  id_to_index_.assign(static_cast<std::size_t>(next_id_), -1);
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    id_to_index_[static_cast<std::size_t>(instances_[i].id)] =
+        static_cast<std::int32_t>(i);
+  RebuildDispatchOrder();
+  RefreshAvailability();
+  // Schedule a wake when delayed instances come online.
+  for (const SimInstance& instance : instances_)
+    if (instance.online_at > now_)
+      events_.Push(Event{instance.online_at, kWakeEventId, 0.0});
+}
+
+void ClusterSim::RebuildDispatchOrder() {
+  dispatch_order_.resize(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) dispatch_order_[i] = i;
+  std::sort(dispatch_order_.begin(), dispatch_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (instances_[a].accuracy != instances_[b].accuracy)
+                return instances_[a].accuracy > instances_[b].accuracy;
+              if (instances_[a].base_service_ms !=
+                  instances_[b].base_service_ms)
+                return instances_[a].base_service_ms <
+                       instances_[b].base_service_ms;
+              return instances_[a].id < instances_[b].id;
+            });
+  index_to_position_.resize(instances_.size());
+  for (std::size_t p = 0; p < dispatch_order_.size(); ++p)
+    index_to_position_[dispatch_order_[p]] = p;
+}
+
+void ClusterSim::RefreshAvailability() {
+  avail_[0] = avail_[1] = 0;
+  for (std::size_t p = 0; p < dispatch_order_.size(); ++p) {
+    const SimInstance& instance = instances_[dispatch_order_[p]];
+    if (!instance.busy && !instance.draining && instance.online_at <= now_)
+      SetAvailable(p);
+  }
+}
+
+int ClusterSim::FirstAvailablePosition() const {
+  if (avail_[0] != 0) return std::countr_zero(avail_[0]);
+  if (avail_[1] != 0) return 64 + std::countr_zero(avail_[1]);
+  return -1;
+}
+
+void ClusterSim::SetAvailable(std::size_t position) {
+  avail_[position >> 6] |= (1ULL << (position & 63));
+}
+
+void ClusterSim::ClearAvailable(std::size_t position) {
+  avail_[position >> 6] &= ~(1ULL << (position & 63));
+}
+
+double ClusterSim::NextEventTime() const {
+  double t = pending_arrival_;
+  if (!events_.Empty()) t = std::min(t, events_.Top().time);
+  return t;
+}
+
+void ClusterSim::AdvanceTo(double t) {
+  CLOVER_CHECK_MSG(t >= now_, "AdvanceTo moving backwards");
+  for (;;) {
+    const double window_end = window_start_ + options_.window_seconds;
+    const double next_event = NextEventTime();
+    const double horizon = std::min(t, next_event);
+    if (horizon >= window_end) {
+      now_ = window_end;
+      CloseWindow();
+      continue;
+    }
+    if (next_event > t) {
+      now_ = t;
+      return;
+    }
+    ProcessOneEvent();
+  }
+}
+
+void ClusterSim::ProcessOneEvent() {
+  const double next_completion =
+      events_.Empty() ? std::numeric_limits<double>::infinity()
+                      : events_.Top().time;
+  if (pending_arrival_ <= next_completion) {
+    const double t = pending_arrival_;
+    pending_arrival_ = arrivals_.NextArrivalTime();
+    now_ = t;
+    HandleArrival(t);
+  } else {
+    const Event event = events_.Pop();
+    now_ = event.time;
+    if (event.instance_id == kWakeEventId) {
+      HandleWake(event.time);
+    } else {
+      HandleCompletion(event);
+    }
+  }
+}
+
+void ClusterSim::CloseWindow() {
+  const double window_end = window_start_ + options_.window_seconds;
+  WindowRecord record;
+  record.start_s = window_start_;
+  record.duration_s = options_.window_seconds;
+  record.arrivals = window_acc_.arrivals();
+  record.completions = window_acc_.completions();
+  record.p95_ms = window_acc_.p95_ms();
+  record.mean_ms = window_acc_.mean_ms();
+  record.max_ms = window_acc_.max_ms();
+  record.weighted_accuracy = window_acc_.weighted_accuracy();
+  record.energy_j = meter_.DrainWindowJoules(options_.window_seconds);
+  record.carbon_g = accountant_.AccountWindow(window_start_, record.energy_j);
+  record.ci = trace_->At(window_start_);
+  windows_.push_back(record);
+  window_acc_.Reset();
+  window_start_ = window_end;
+}
+
+void ClusterSim::HandleArrival(double t) {
+  ++total_arrivals_;
+  window_acc_.AddArrival();
+  if (probe_active_) probe_acc_.AddArrival();
+  const int position = queue_.empty() ? FirstAvailablePosition() : -1;
+  if (position >= 0) {
+    StartService(static_cast<std::size_t>(position), t);
+  } else {
+    queue_.push_back(t);
+  }
+}
+
+void ClusterSim::HandleCompletion(const Event& event) {
+  const std::int32_t index =
+      id_to_index_[static_cast<std::size_t>(event.instance_id)];
+  CLOVER_CHECK_MSG(index >= 0, "completion for retired instance");
+  SimInstance& instance = instances_[static_cast<std::size_t>(index)];
+  CLOVER_DCHECK(instance.busy);
+  instance.busy = false;
+
+  const double latency_ms = SecondsToMs(event.time - event.aux);
+  ++total_completions_;
+  total_accuracy_sum_ += instance.accuracy;
+  overall_latency_.Add(latency_ms);
+  window_acc_.AddCompletion(latency_ms, instance.accuracy);
+  if (probe_active_) probe_acc_.AddCompletion(latency_ms, instance.accuracy);
+
+  if (instance.draining) return;
+  const std::size_t position =
+      index_to_position_[static_cast<std::size_t>(index)];
+  SetAvailable(position);
+  if (!queue_.empty()) {
+    // Invariant: a non-empty queue implies no instance was available, so
+    // the freed instance is the (unique) greedy choice.
+    const double enqueue_time = queue_.front();
+    queue_.pop_front();
+    StartService(position, enqueue_time);
+  }
+}
+
+void ClusterSim::HandleWake(double t) {
+  (void)t;
+  RefreshAvailability();
+  TryDispatchQueue();
+}
+
+void ClusterSim::TryDispatchQueue() {
+  while (!queue_.empty()) {
+    const int position = FirstAvailablePosition();
+    if (position < 0) return;
+    const double enqueue_time = queue_.front();
+    queue_.pop_front();
+    StartService(static_cast<std::size_t>(position), enqueue_time);
+  }
+}
+
+void ClusterSim::StartService(std::size_t position, double enqueue_time) {
+  const std::size_t index = dispatch_order_[position];
+  SimInstance& instance = instances_[index];
+  CLOVER_DCHECK(!instance.busy && !instance.draining);
+  ClearAvailable(position);
+  instance.busy = true;
+
+  // Truncated multiplicative jitter: inputs vary (image content, sequence
+  // length) but service time never goes negative or explodes.
+  const double sigma = options_.service_jitter_sigma;
+  double jitter = 1.0 + sigma * jitter_rng_.NextGaussian();
+  jitter = std::clamp(jitter, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma);
+  const double service_s = MsToSeconds(instance.base_service_ms * jitter);
+
+  meter_.AddBusy(service_s, instance.dynamic_watts);
+  if (probe_active_) probe_dynamic_j_ += service_s * instance.dynamic_watts;
+
+  events_.Push(Event{now_ + service_s, instance.id, enqueue_time});
+}
+
+double ClusterSim::ApplyDeployment(const serving::Deployment& next,
+                                   const mig::RepartitionCostModel& cost) {
+  next.Validate(*zoo_);
+  CLOVER_CHECK(next.NumGpus() == deployment_.NumGpus());
+  CLOVER_CHECK(next.app == deployment_.app);
+
+  const serving::ReconfigPlan plan =
+      serving::PlanReconfiguration(deployment_, next, *zoo_, cost);
+  if (plan.Empty()) return now_;
+
+  std::vector<bool> affected(static_cast<std::size_t>(deployment_.NumGpus()),
+                             false);
+  std::vector<double> offline_s(static_cast<std::size_t>(next.NumGpus()), 0.0);
+  for (const serving::GpuReconfigPlan& gpu : plan.gpus) {
+    affected[static_cast<std::size_t>(gpu.gpu_index)] = true;
+    offline_s[static_cast<std::size_t>(gpu.gpu_index)] = gpu.offline_seconds;
+  }
+
+  // Drain: stop dispatching to affected GPUs, let in-flight work finish.
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    SimInstance& instance = instances_[i];
+    if (affected[static_cast<std::size_t>(instance.gpu_index)]) {
+      instance.draining = true;
+      ClearAvailable(index_to_position_[i]);
+    }
+  }
+  auto any_affected_busy = [&] {
+    for (const SimInstance& instance : instances_)
+      if (instance.draining && instance.busy) return true;
+    return false;
+  };
+  while (any_affected_busy()) ProcessOneEvent();
+
+  // Swap: keep unaffected instances (with their state), create new ones for
+  // affected GPUs with their per-GPU online time.
+  const double start = now_;
+  const models::ModelFamily& family = zoo_->ForApplication(next.app);
+  std::vector<SimInstance> kept;
+  kept.reserve(instances_.size());
+  for (const SimInstance& instance : instances_)
+    if (!instance.draining) kept.push_back(instance);
+
+  for (const serving::InstanceSpec& spec : next.Instances()) {
+    if (!affected[static_cast<std::size_t>(spec.gpu_index)]) continue;
+    SimInstance instance;
+    instance.id = next_id_++;
+    instance.gpu_index = spec.gpu_index;
+    const models::ModelVariant& variant = family.Variant(spec.variant_ordinal);
+    instance.base_service_ms =
+        perf::PerfModel::LatencyMs(family, variant, spec.slice);
+    instance.dynamic_watts =
+        power::PowerModel::DynamicWatts(variant, spec.slice);
+    instance.accuracy = variant.accuracy;
+    instance.online_at =
+        start + offline_s[static_cast<std::size_t>(spec.gpu_index)];
+    kept.push_back(instance);
+  }
+  instances_ = std::move(kept);
+  CLOVER_CHECK_MSG(instances_.size() <= kMaxInstances,
+                   "instance count exceeds simulator capacity");
+
+  id_to_index_.assign(static_cast<std::size_t>(next_id_), -1);
+  for (std::size_t i = 0; i < instances_.size(); ++i)
+    id_to_index_[static_cast<std::size_t>(instances_[i].id)] =
+        static_cast<std::int32_t>(i);
+  RebuildDispatchOrder();
+  RefreshAvailability();
+
+  double ready = start;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].online_at > now_) {
+      events_.Push(Event{instances_[i].online_at, kWakeEventId, 0.0});
+      ready = std::max(ready, instances_[i].online_at);
+    }
+  }
+
+  deployment_ = next;
+  TryDispatchQueue();
+  return ready;
+}
+
+Measurement ClusterSim::Measure(double duration_s) {
+  CLOVER_CHECK(duration_s > 0.0);
+  probe_acc_.Reset();
+  probe_dynamic_j_ = 0.0;
+  probe_active_ = true;
+  AdvanceTo(now_ + duration_s);
+  probe_active_ = false;
+
+  Measurement measurement;
+  measurement.completions = probe_acc_.completions();
+  measurement.duration_s = duration_s;
+  measurement.p95_ms = probe_acc_.p95_ms();
+  measurement.mean_ms = probe_acc_.mean_ms();
+  measurement.weighted_accuracy = probe_acc_.weighted_accuracy();
+  const double energy_j =
+      power::PowerModel::StaticWattsPerGpu() * num_gpus() * duration_s +
+      probe_dynamic_j_;
+  measurement.energy_per_request_j =
+      measurement.completions
+          ? energy_j / static_cast<double>(measurement.completions)
+          : std::numeric_limits<double>::infinity();
+  measurement.throughput_qps =
+      static_cast<double>(measurement.completions) / duration_s;
+  return measurement;
+}
+
+}  // namespace clover::sim

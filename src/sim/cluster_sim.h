@@ -1,0 +1,169 @@
+// Discrete-event simulator of the Clover serving cluster.
+//
+// Reproduces the paper's runtime (Fig. 5) in simulated time: a Poisson
+// producer feeds a FIFO queue; the consumer hands the head of the queue to
+// the highest-accuracy idle instance; each instance serves with the
+// perf-model latency (plus per-request jitter); busy time is metered into
+// energy and carbon window by window against the CI trace.
+//
+// Reconfigurations follow the production sequence: affected GPUs drain
+// their in-flight requests, go offline for the repartition + model-load
+// time, then come back; unaffected GPUs keep serving throughout, and
+// arrivals continue to queue — so a bad candidate configuration hurts tail
+// latency exactly as it would in the paper's testbed.
+//
+// The simulator is deterministic for a fixed (deployment schedule, seed)
+// and processes tens of millions of requests per second of wall time, which
+// is what makes 48-hour × 10-GPU × multi-scheme evaluations cheap.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "carbon/accountant.h"
+#include "carbon/trace.h"
+#include "common/quantile.h"
+#include "common/rng.h"
+#include "perf/calibration.h"
+#include "power/energy_meter.h"
+#include "serving/deployment.h"
+#include "serving/reconfig_planner.h"
+#include "sim/arrivals.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+
+namespace clover::sim {
+
+struct SimOptions {
+  double arrival_rate_qps = 100.0;
+  double window_seconds = 300.0;  // metrics/carbon accounting window
+  std::uint64_t seed = 1;
+  double service_jitter_sigma = perf::kServiceJitterSigma;
+  double pue = perf::kPue;
+};
+
+// Aggregate measured over a probe interval (one optimizer evaluation).
+struct Measurement {
+  std::uint64_t completions = 0;
+  double duration_s = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double weighted_accuracy = 0.0;
+  double energy_per_request_j = 0.0;  // IT energy incl. static share
+  double throughput_qps = 0.0;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(serving::Deployment initial, const models::ModelZoo& zoo,
+             const carbon::CarbonTrace* trace, const SimOptions& options);
+
+  // Advances simulated time to `t`, processing arrivals, completions and
+  // window closures. `t` must be >= now().
+  void AdvanceTo(double t);
+
+  // Reconfigures the cluster to `next` starting at now(): drains affected
+  // GPUs, takes them offline for the plan's duration, swaps instances.
+  // Returns the time at which every GPU is back online. The cost model is
+  // overridable so the idealized ORACLE scheme can switch at zero cost.
+  double ApplyDeployment(const serving::Deployment& next,
+                         const mig::RepartitionCostModel& cost = {});
+
+  // Advances by `duration_s` while recording a measurement probe.
+  Measurement Measure(double duration_s);
+
+  double now() const { return now_; }
+  const serving::Deployment& deployment() const { return deployment_; }
+  const SimOptions& options() const { return options_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  int num_gpus() const { return deployment_.NumGpus(); }
+
+  // Closed metrics windows so far.
+  const std::vector<WindowRecord>& windows() const { return windows_; }
+
+  // Run totals (across all time, including partially open windows for
+  // counters; energy/carbon totals include only closed windows).
+  std::uint64_t total_arrivals() const { return total_arrivals_; }
+  std::uint64_t total_completions() const { return total_completions_; }
+  double total_accuracy_sum() const { return total_accuracy_sum_; }
+  double total_energy_j() const { return accountant_.total_it_joules(); }
+  double total_carbon_g() const { return accountant_.total_grams(); }
+  double OverallP95Ms() const { return overall_latency_.Quantile(0.95); }
+  double OverallWeightedAccuracy() const {
+    return total_completions_
+               ? total_accuracy_sum_ / static_cast<double>(total_completions_)
+               : 0.0;
+  }
+
+ private:
+  struct SimInstance {
+    std::int32_t id = 0;
+    int gpu_index = 0;
+    double base_service_ms = 0.0;
+    double dynamic_watts = 0.0;
+    double accuracy = 0.0;
+    double online_at = 0.0;
+    bool busy = false;
+    bool draining = false;  // excluded from dispatch during reconfiguration
+  };
+
+  static constexpr std::size_t kMaxInstances = 128;
+
+  void BuildInstances(const serving::Deployment& deployment,
+                      const std::vector<double>& online_at_per_gpu);
+  void RebuildDispatchOrder();
+  void RefreshAvailability();
+
+  // Event processing.
+  double NextEventTime() const;
+  void ProcessOneEvent();  // requires an event at/before +inf
+  void CloseWindow();
+  void HandleArrival(double t);
+  void HandleCompletion(const Event& event);
+  void HandleWake(double t);
+  void StartService(std::size_t position, double enqueue_time);
+  void TryDispatchQueue();
+
+  // Availability bitmask over dispatch positions.
+  bool AnyAvailable() const { return (avail_[0] | avail_[1]) != 0; }
+  int FirstAvailablePosition() const;
+  void SetAvailable(std::size_t position);
+  void ClearAvailable(std::size_t position);
+
+  models::ModelZoo const* zoo_;
+  const carbon::CarbonTrace* trace_;
+  SimOptions options_;
+  serving::Deployment deployment_;
+
+  std::vector<SimInstance> instances_;
+  std::vector<std::int32_t> id_to_index_;
+  std::vector<std::size_t> dispatch_order_;    // positions -> instance index
+  std::vector<std::size_t> index_to_position_;  // instance index -> position
+  std::uint64_t avail_[2] = {0, 0};
+  std::int32_t next_id_ = 0;
+
+  EventQueue events_;
+  std::deque<double> queue_;  // enqueue times of waiting requests
+  PoissonArrivals arrivals_;
+  double pending_arrival_ = 0.0;
+  RngStream jitter_rng_;
+
+  double now_ = 0.0;
+  double window_start_ = 0.0;
+  WindowAccumulator window_acc_;
+  std::vector<WindowRecord> windows_;
+  power::EnergyMeter meter_;
+  carbon::CarbonAccountant accountant_;
+
+  std::uint64_t total_arrivals_ = 0;
+  std::uint64_t total_completions_ = 0;
+  double total_accuracy_sum_ = 0.0;
+  LogHistogramQuantile overall_latency_;
+
+  bool probe_active_ = false;
+  WindowAccumulator probe_acc_;
+  double probe_dynamic_j_ = 0.0;
+};
+
+}  // namespace clover::sim

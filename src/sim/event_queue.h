@@ -1,0 +1,38 @@
+// Minimal binary-heap event queue for the discrete-event simulator.
+//
+// The queue only ever holds completion events (one per busy instance) plus
+// occasional instance-online wake events, so it stays tiny (< 100 entries);
+// a flat binary heap over POD events is the fastest structure at this size.
+// Arrivals are not queued: the Poisson stream is generated lazily and
+// merged with the heap head in the main loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clover::sim {
+
+struct Event {
+  double time = 0.0;
+  std::int32_t instance_id = -1;  // kWakeEventId for online-wake events
+  double aux = 0.0;               // completion: request enqueue time
+};
+
+inline constexpr std::int32_t kWakeEventId = -1;
+
+class EventQueue {
+ public:
+  void Push(const Event& event);
+  const Event& Top() const { return heap_.front(); }
+  Event Pop();
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+  void Clear() { heap_.clear(); }
+
+ private:
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  std::vector<Event> heap_;
+};
+
+}  // namespace clover::sim

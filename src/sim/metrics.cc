@@ -1,0 +1,2 @@
+// metrics.h is header-only; this TU anchors the library target.
+#include "sim/metrics.h"

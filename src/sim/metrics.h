@@ -1,0 +1,73 @@
+// Windowed and run-level metric accumulators for the cluster simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/quantile.h"
+
+namespace clover::sim {
+
+// Accumulates completions within one metrics window (or one measurement
+// probe). O(1) memory: p95 via the P² estimator.
+class WindowAccumulator {
+ public:
+  WindowAccumulator() : p95_(0.95) {}
+
+  void AddCompletion(double latency_ms, double accuracy) {
+    ++completions_;
+    latency_sum_ms_ += latency_ms;
+    if (latency_ms > max_ms_) max_ms_ = latency_ms;
+    accuracy_sum_ += accuracy;
+    p95_.Add(latency_ms);
+  }
+  void AddArrival() { ++arrivals_; }
+
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t arrivals() const { return arrivals_; }
+  double mean_ms() const {
+    return completions_ ? latency_sum_ms_ / static_cast<double>(completions_)
+                        : 0.0;
+  }
+  double p95_ms() const { return p95_.Value(); }
+  double max_ms() const { return max_ms_; }
+  double weighted_accuracy() const {
+    return completions_ ? accuracy_sum_ / static_cast<double>(completions_)
+                        : 0.0;
+  }
+  double accuracy_sum() const { return accuracy_sum_; }
+
+  void Reset() {
+    completions_ = 0;
+    arrivals_ = 0;
+    latency_sum_ms_ = 0.0;
+    max_ms_ = 0.0;
+    accuracy_sum_ = 0.0;
+    p95_.Reset();
+  }
+
+ private:
+  std::uint64_t completions_ = 0;
+  std::uint64_t arrivals_ = 0;
+  double latency_sum_ms_ = 0.0;
+  double max_ms_ = 0.0;
+  double accuracy_sum_ = 0.0;
+  P2Quantile p95_;
+};
+
+// One closed metrics window of the simulation.
+struct WindowRecord {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double weighted_accuracy = 0.0;
+  double energy_j = 0.0;  // IT energy over the window
+  double carbon_g = 0.0;  // PUE-adjusted carbon
+  double ci = 0.0;        // carbon intensity at window start
+};
+
+}  // namespace clover::sim

@@ -1,0 +1,159 @@
+// Tests for carbon traces, the synthetic generators (Fig. 4/8 shapes), the
+// re-optimization monitor, and the carbon accountant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "carbon/accountant.h"
+#include "carbon/monitor.h"
+#include "carbon/trace.h"
+#include "carbon/trace_generator.h"
+#include "common/check.h"
+#include "common/units.h"
+
+namespace clover::carbon {
+namespace {
+
+TEST(CarbonTrace, StepLookupAndClamping) {
+  CarbonTrace trace("t", 100.0, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(trace.At(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.At(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.At(99.9), 10.0);
+  EXPECT_DOUBLE_EQ(trace.At(100.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.At(250.0), 30.0);
+  EXPECT_DOUBLE_EQ(trace.At(1e9), 30.0);
+  EXPECT_DOUBLE_EQ(trace.DurationSeconds(), 300.0);
+}
+
+TEST(CarbonTrace, RejectsBadInput) {
+  EXPECT_THROW(CarbonTrace("t", 100.0, {}), CheckError);
+  EXPECT_THROW(CarbonTrace("t", 0.0, {1.0}), CheckError);
+  EXPECT_THROW(CarbonTrace("t", 100.0, {1.0, -2.0}), CheckError);
+}
+
+TEST(CarbonTrace, MaxSwingWithinSpan) {
+  CarbonTrace trace("t", 3600.0, {100, 150, 300, 120, 110});
+  // Within one hour: adjacent samples only.
+  EXPECT_DOUBLE_EQ(trace.MaxSwingWithin(3600.0), 180.0);  // 300 -> 120
+  // Within the whole trace: 300 - 100.
+  EXPECT_DOUBLE_EQ(trace.MaxSwingWithin(4 * 3600.0), 200.0);
+}
+
+TEST(CarbonTrace, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/trace.csv";
+  {
+    std::ofstream out(path);
+    out << "seconds,ci\n0,100\n300,150\n600,120\n";
+  }
+  const CarbonTrace trace = CarbonTrace::FromCsv("csv", path);
+  EXPECT_DOUBLE_EQ(trace.sample_interval_s(), 300.0);
+  EXPECT_DOUBLE_EQ(trace.At(301.0), 150.0);
+}
+
+class ProfileSweep : public ::testing::TestWithParam<TraceProfile> {};
+
+TEST_P(ProfileSweep, FortyEightHourEvaluationShape) {
+  TraceGeneratorOptions options;
+  const CarbonTrace trace = GenerateTrace(GetParam(), options);
+  // 48h at 5-minute samples.
+  EXPECT_EQ(trace.values().size(), 48u * 12u);
+  const auto stats = trace.Summary();
+  // Ranges per paper Figs. 4/8: everything lives in [45, 360] gCO2/kWh.
+  EXPECT_GE(stats.min(), 45.0);
+  EXPECT_LE(stats.max(), 360.0);
+  EXPECT_GT(stats.mean(), 120.0);
+  EXPECT_LT(stats.mean(), 260.0);
+}
+
+TEST_P(ProfileSweep, Deterministic) {
+  TraceGeneratorOptions options;
+  const CarbonTrace a = GenerateTrace(GetParam(), options);
+  const CarbonTrace b = GenerateTrace(GetParam(), options);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST_P(ProfileSweep, SeedChangesWeather) {
+  TraceGeneratorOptions a_options;
+  TraceGeneratorOptions b_options;
+  b_options.seed = a_options.seed + 1;
+  const CarbonTrace a = GenerateTrace(GetParam(), a_options);
+  const CarbonTrace b = GenerateTrace(GetParam(), b_options);
+  EXPECT_NE(a.values(), b.values());
+}
+
+TEST_P(ProfileSweep, SignificantIntradayVariation) {
+  // Paper Sec. 3: "carbon intensity can vary by more than 200 gCO2/kWh
+  // within half a day" — require at least 100 within 12h for every profile
+  // so the controller has something to react to.
+  TraceGeneratorOptions options;
+  options.duration_hours = 14 * 24;
+  const CarbonTrace trace = GenerateTrace(GetParam(), options);
+  EXPECT_GT(trace.MaxSwingWithin(12 * 3600.0), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileSweep,
+                         ::testing::Values(TraceProfile::kCisoMarch,
+                                           TraceProfile::kCisoSeptember,
+                                           TraceProfile::kEsoMarch));
+
+TEST(TraceGenerator, CisoMarchHasSolarDuckCurve) {
+  TraceGeneratorOptions options;
+  options.duration_hours = 14 * 24;
+  const CarbonTrace trace =
+      GenerateTrace(TraceProfile::kCisoMarch, options);
+  // Average by hour-of-day: midday (12-15h) must sit well below the
+  // evening ramp (19-21h).
+  double midday = 0.0, evening = 0.0;
+  int midday_n = 0, evening_n = 0;
+  for (std::size_t i = 0; i < trace.values().size(); ++i) {
+    const double hour = std::fmod(i * trace.sample_interval_s() / 3600.0,
+                                  24.0);
+    if (hour >= 12.0 && hour < 15.0) {
+      midday += trace.values()[i];
+      ++midday_n;
+    } else if (hour >= 19.0 && hour < 21.0) {
+      evening += trace.values()[i];
+      ++evening_n;
+    }
+  }
+  EXPECT_LT(midday / midday_n + 50.0, evening / evening_n);
+}
+
+TEST(Monitor, TriggersBeforeFirstAcknowledgement) {
+  CarbonTrace trace("t", 300.0, {100.0, 100.0});
+  CarbonMonitor monitor(&trace, 0.05);
+  EXPECT_TRUE(monitor.ShouldReoptimize(0.0));
+}
+
+TEST(Monitor, FivePercentRelativeTrigger) {
+  CarbonTrace trace("t", 100.0, {100.0, 104.0, 106.0, 94.0});
+  CarbonMonitor monitor(&trace, 0.05);
+  monitor.AcknowledgeOptimization(0.0);  // reference = 100
+  EXPECT_FALSE(monitor.ShouldReoptimize(100.0));  // 104: +4% < 5%
+  EXPECT_TRUE(monitor.ShouldReoptimize(200.0));   // 106: +6%
+  EXPECT_TRUE(monitor.ShouldReoptimize(300.0));   // 94: -6%
+  monitor.AcknowledgeOptimization(300.0);         // reference = 94
+  EXPECT_FALSE(monitor.ShouldReoptimize(300.0));
+}
+
+TEST(Accountant, CarbonEqualsEnergyTimesIntensityTimesPue) {
+  CarbonTrace trace("t", 3600.0, {200.0, 400.0});
+  CarbonAccountant accountant(&trace, 1.5);
+  // 1 kWh in the first hour at 200 g/kWh and PUE 1.5 -> 300 g.
+  const double g1 = accountant.AccountWindow(0.0, KwhToJoules(1.0));
+  EXPECT_NEAR(g1, 300.0, 1e-9);
+  // Same energy in the second hour at double intensity -> double carbon.
+  const double g2 = accountant.AccountWindow(3600.0, KwhToJoules(1.0));
+  EXPECT_NEAR(g2, 600.0, 1e-9);
+  EXPECT_NEAR(accountant.total_grams(), 900.0, 1e-9);
+  EXPECT_NEAR(accountant.total_it_joules(), KwhToJoules(2.0), 1e-6);
+}
+
+TEST(Accountant, RequiresSanePue) {
+  CarbonTrace trace("t", 3600.0, {200.0});
+  EXPECT_THROW(CarbonAccountant(&trace, 0.9), CheckError);
+}
+
+}  // namespace
+}  // namespace clover::carbon

@@ -1,0 +1,232 @@
+// Tests for the configuration graph, graph edit distance, graph<->deployment
+// mapping, and neighbor sampling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "graph/config_graph.h"
+#include "graph/ged.h"
+#include "graph/mapping.h"
+#include "graph/neighbors.h"
+#include "perf/perf_model.h"
+
+namespace clover::graph {
+namespace {
+
+using models::Application;
+using models::DefaultZoo;
+
+ConfigGraph BaseGraph(Application app, int gpus) {
+  return ConfigGraph::FromDeployment(serving::MakeBase(app, gpus),
+                                     DefaultZoo());
+}
+
+TEST(ConfigGraph, FromBaseDeployment) {
+  const ConfigGraph g = BaseGraph(Application::kClassification, 10);
+  EXPECT_EQ(g.TotalInstances(), 10);
+  EXPECT_EQ(g.Weight(3, mig::SliceType::k7g), 10);
+  EXPECT_EQ(g.Weight(0, mig::SliceType::k1g), 0);
+  const mig::SliceCounts demand = g.SliceDemand();
+  EXPECT_EQ(demand[static_cast<std::size_t>(mig::SliceType::k7g)], 10);
+}
+
+TEST(ConfigGraph, IsolationQuotient) {
+  // Two deployments that differ only in *which* GPU hosts which slice map
+  // to the same graph (the paper's first argument for graph space).
+  serving::Deployment a;
+  a.app = Application::kClassification;
+  a.gpus.push_back({3, {0, 1, 2}});   // layout 3 = [4g 2g 1g]
+  a.gpus.push_back({1, {3}});         // 7g with B7
+  serving::Deployment b;
+  b.app = Application::kClassification;
+  b.gpus.push_back({1, {3}});
+  b.gpus.push_back({3, {0, 1, 2}});
+  EXPECT_EQ(ConfigGraph::FromDeployment(a, DefaultZoo()),
+            ConfigGraph::FromDeployment(b, DefaultZoo()));
+  EXPECT_EQ(ConfigGraph::FromDeployment(a, DefaultZoo()).Key(),
+            ConfigGraph::FromDeployment(b, DefaultZoo()).Key());
+}
+
+TEST(ConfigGraph, AdditivityOverGpus) {
+  // Graph of (n + m) uniform GPUs = graph of n plus graph of m, edge-wise
+  // (the paper's second argument: additivity when scaling the cluster).
+  const ConfigGraph g4 = BaseGraph(Application::kLanguage, 4);
+  const ConfigGraph g6 = BaseGraph(Application::kLanguage, 6);
+  const ConfigGraph g10 = BaseGraph(Application::kLanguage, 10);
+  for (int v = 0; v < g10.num_variants(); ++v)
+    for (mig::SliceType s : mig::kAllSliceTypes)
+      EXPECT_EQ(g10.Weight(v, s), g4.Weight(v, s) + g6.Weight(v, s));
+}
+
+TEST(ConfigGraph, NegativeWeightRejected) {
+  ConfigGraph g(Application::kDetection, 3);
+  EXPECT_THROW(g.AddWeight(0, mig::SliceType::k1g, -1), CheckError);
+  EXPECT_THROW(g.SetWeight(0, mig::SliceType::k1g, -2), CheckError);
+}
+
+TEST(Ged, MetricProperties) {
+  const ConfigGraph a = BaseGraph(Application::kClassification, 4);
+  ConfigGraph b = a;
+  b.AddWeight(3, mig::SliceType::k7g, -1);
+  b.AddWeight(1, mig::SliceType::k7g, +1);
+  ConfigGraph c = b;
+  c.AddWeight(1, mig::SliceType::k7g, -1);
+  c.AddWeight(1, mig::SliceType::k3g, +1);
+
+  EXPECT_EQ(GraphEditDistance(a, a), 0);
+  EXPECT_EQ(GraphEditDistance(a, b), GraphEditDistance(b, a));
+  EXPECT_EQ(GraphEditDistance(a, b), 2);  // one variant swap
+  EXPECT_EQ(GraphEditDistance(b, c), 2);  // one slice move
+  // Triangle inequality.
+  EXPECT_LE(GraphEditDistance(a, c),
+            GraphEditDistance(a, b) + GraphEditDistance(b, c));
+}
+
+TEST(Ged, PaperWorkedExample) {
+  // Paper Fig. 7 step 2, comparison (i) -> (ii): four instances
+  // [V1 V2 V1 V3]. Graph (i) has four weight-1 edges; graph (ii) rehosts
+  // everything onto a disjoint edge set with two weight-1 edges and one
+  // weight-2 edge (V1's two copies now share a slice type). The published
+  // edit sequence — "removing all current edges of weight 1, and adding two
+  // new edges of weight 1 and one edge of weight 2" — costs 4 + (1+1+2) =
+  // 8, which is exactly sum |dw|.
+  ConfigGraph i(Application::kClassification, 3);
+  i.SetWeight(0, mig::SliceType::k3g, 1);
+  i.SetWeight(1, mig::SliceType::k2g, 1);
+  i.SetWeight(0, mig::SliceType::k1g, 1);
+  i.SetWeight(2, mig::SliceType::k1g, 1);
+  ConfigGraph ii(Application::kClassification, 3);
+  ii.SetWeight(0, mig::SliceType::k2g, 2);  // the weight-2 edge
+  ii.SetWeight(1, mig::SliceType::k3g, 1);
+  ii.SetWeight(2, mig::SliceType::k2g, 1);
+  EXPECT_EQ(GraphEditDistance(i, ii), 8);
+
+  // Comparison (i) -> (iii): swapping the variant of a single instance is
+  // distance 2 — the paper's "similar" example (distance < 4 threshold).
+  ConfigGraph iii = i;
+  iii.AddWeight(0, mig::SliceType::k3g, -1);
+  iii.AddWeight(1, mig::SliceType::k3g, +1);
+  EXPECT_EQ(GraphEditDistance(i, iii), 2);
+  EXPECT_LT(GraphEditDistance(i, iii), GraphEditDistance(i, ii));
+}
+
+TEST(Mapping, RoundTripPreservesGraph) {
+  GraphMapper mapper(&DefaultZoo(), 10);
+  ConfigGraph g(Application::kClassification, 4);
+  g.SetWeight(3, mig::SliceType::k7g, 2);   // 2x B7 on full GPUs
+  g.SetWeight(1, mig::SliceType::k1g, 40);  // 40x B3 on 1g
+  g.SetWeight(2, mig::SliceType::k2g, 6);   // 6x B5 on 2g
+  ASSERT_TRUE(mapper.IsFeasible(g));
+  const auto deployment = mapper.ToDeployment(g);
+  ASSERT_TRUE(deployment.has_value());
+  EXPECT_EQ(ConfigGraph::FromDeployment(*deployment, DefaultZoo()), g);
+  EXPECT_EQ(deployment->NumGpus(), 10);
+}
+
+TEST(Mapping, OomEdgeInfeasible) {
+  GraphMapper mapper(&DefaultZoo(), 2);
+  ConfigGraph g(Application::kClassification, 4);
+  g.SetWeight(3, mig::SliceType::k1g, 1);  // B7 on 1g: disabled edge
+  EXPECT_FALSE(mapper.IsFeasible(g));
+  EXPECT_EQ(mapper.ToDeployment(g), std::nullopt);
+}
+
+TEST(Mapping, DemandBeyondClusterInfeasible) {
+  GraphMapper mapper(&DefaultZoo(), 2);
+  ConfigGraph g(Application::kClassification, 4);
+  g.SetWeight(0, mig::SliceType::k1g, 15);  // 15 > 2 x 7 slices
+  EXPECT_FALSE(mapper.IsFeasible(g));
+}
+
+TEST(Mapping, EmptyGraphInfeasible) {
+  GraphMapper mapper(&DefaultZoo(), 2);
+  ConfigGraph g(Application::kClassification, 4);
+  EXPECT_FALSE(mapper.IsFeasible(g));
+}
+
+TEST(Mapping, SurplusSlicesLeftEmpty) {
+  GraphMapper mapper(&DefaultZoo(), 2);
+  ConfigGraph g(Application::kLanguage, 4);
+  g.SetWeight(0, mig::SliceType::k1g, 3);  // 3 instances on 2 GPUs
+  const auto deployment = mapper.ToDeployment(g);
+  ASSERT_TRUE(deployment.has_value());
+  EXPECT_EQ(deployment->NumInstances(), 3);
+  int total_slices = 0;
+  for (const auto& gpu : deployment->gpus)
+    total_slices += gpu.layout().NumSlices();
+  EXPECT_GT(total_slices, 3);  // the rest exist but host nothing
+}
+
+class NeighborSweep : public ::testing::TestWithParam<Application> {};
+
+TEST_P(NeighborSweep, SamplesAreFeasibleDistinctAndClose) {
+  GraphMapper mapper(&DefaultZoo(), 10);
+  NeighborSampler sampler(&mapper, 99);
+  ConfigGraph center = BaseGraph(GetParam(), 10);
+  for (int i = 0; i < 200; ++i) {
+    const auto neighbor = sampler.Sample(center);
+    ASSERT_TRUE(neighbor.has_value());
+    EXPECT_TRUE(mapper.IsFeasible(*neighbor));
+    EXPECT_FALSE(*neighbor == center);
+    const int ged = GraphEditDistance(*neighbor, center);
+    EXPECT_GE(ged, 1);
+    EXPECT_LE(ged, kNeighborhoodGed);
+    // Walk: occasionally move the center to cover more of the space.
+    if (i % 10 == 9) center = *neighbor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, NeighborSweep,
+                         ::testing::Values(Application::kDetection,
+                                           Application::kLanguage,
+                                           Application::kClassification));
+
+TEST(Neighbors, NeverProposesOomEdges) {
+  GraphMapper mapper(&DefaultZoo(), 4);
+  NeighborSampler sampler(&mapper, 7);
+  ConfigGraph center = BaseGraph(Application::kDetection, 4);
+  const auto& family = DefaultZoo().ForApplication(Application::kDetection);
+  for (int i = 0; i < 300; ++i) {
+    const auto neighbor = sampler.Sample(center);
+    ASSERT_TRUE(neighbor.has_value());
+    for (int v = 0; v < neighbor->num_variants(); ++v)
+      for (mig::SliceType s : mig::kAllSliceTypes)
+        if (neighbor->Weight(v, s) > 0)
+          EXPECT_TRUE(perf::PerfModel::Fits(family.Variant(v), s));
+    if (i % 20 == 19) center = *neighbor;
+  }
+}
+
+TEST(Neighbors, DeterministicForSeed) {
+  GraphMapper mapper_a(&DefaultZoo(), 4);
+  GraphMapper mapper_b(&DefaultZoo(), 4);
+  NeighborSampler a(&mapper_a, 5);
+  NeighborSampler b(&mapper_b, 5);
+  const ConfigGraph center = BaseGraph(Application::kLanguage, 4);
+  for (int i = 0; i < 50; ++i) {
+    const auto na = a.Sample(center);
+    const auto nb = b.Sample(center);
+    ASSERT_TRUE(na.has_value() && nb.has_value());
+    EXPECT_TRUE(*na == *nb);
+  }
+}
+
+TEST(ConfigGraph, KeyCollisionsAreRareAcrossNeighborhood) {
+  GraphMapper mapper(&DefaultZoo(), 10);
+  NeighborSampler sampler(&mapper, 11);
+  ConfigGraph center = BaseGraph(Application::kClassification, 10);
+  std::set<std::uint64_t> keys;
+  std::set<std::string> reprs;
+  for (int i = 0; i < 500; ++i) {
+    const auto neighbor = sampler.Sample(center);
+    ASSERT_TRUE(neighbor.has_value());
+    keys.insert(neighbor->Key());
+    reprs.insert(neighbor->ToString(DefaultZoo()));
+    center = *neighbor;
+  }
+  EXPECT_EQ(keys.size(), reprs.size());
+}
+
+}  // namespace
+}  // namespace clover::graph

@@ -1,0 +1,116 @@
+// End-to-end integration tests: short harness runs reproducing the paper's
+// qualitative results at reduced duration (the full 48 h runs live in
+// bench/). These are the repo's regression net for the headline claims.
+#include <gtest/gtest.h>
+
+#include "carbon/trace_generator.h"
+#include "core/harness.h"
+
+namespace clover::core {
+namespace {
+
+using models::Application;
+using models::DefaultZoo;
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static carbon::CarbonTrace MakeTrace() {
+    carbon::TraceGeneratorOptions options;
+    options.duration_hours = 6.0;
+    return GenerateTrace(carbon::TraceProfile::kCisoMarch, options);
+  }
+
+  ExperimentConfig Config(Application app, Scheme scheme,
+                          const carbon::CarbonTrace* trace) {
+    ExperimentConfig config;
+    config.app = app;
+    config.scheme = scheme;
+    config.trace = trace;
+    config.duration_hours = 6.0;
+    config.num_gpus = 4;
+    config.sizing_gpus = 4;
+    config.seed = 11;
+    return config;
+  }
+
+  ExperimentHarness harness_{&DefaultZoo()};
+};
+
+TEST_F(IntegrationFixture, BaseServesAtSlaWithHighestAccuracy) {
+  const auto trace = MakeTrace();
+  const RunReport report =
+      harness_.Run(Config(Application::kClassification, Scheme::kBase,
+                          &trace));
+  EXPECT_GT(report.completions, 100000u);
+  EXPECT_NEAR(report.weighted_accuracy, 84.4, 0.01);  // all-B7
+  EXPECT_LE(report.overall_p95_ms, report.params.l_tail_ms * 1.1);
+  EXPECT_GT(report.total_carbon_g, 0.0);
+  EXPECT_EQ(report.windows.size(), 6u * 12u);
+}
+
+TEST_F(IntegrationFixture, Co2OptSavesMostCarbonAtLowestAccuracy) {
+  const auto trace = MakeTrace();
+  const RunReport base = harness_.Run(
+      Config(Application::kClassification, Scheme::kBase, &trace));
+  const RunReport co2 = harness_.Run(
+      Config(Application::kClassification, Scheme::kCo2Opt, &trace));
+  EXPECT_GT(co2.CarbonSavePctVs(base), 50.0);
+  EXPECT_NEAR(co2.weighted_accuracy, 78.8, 0.01);  // all-B1
+  // CO2OPT keeps the SLA: the smallest variant is fast even on 1g slices.
+  EXPECT_LE(co2.overall_p95_ms, base.params.l_tail_ms);
+}
+
+TEST_F(IntegrationFixture, CloverSavesCarbonWithSmallAccuracyLoss) {
+  const auto trace = MakeTrace();
+  const RunReport base = harness_.Run(
+      Config(Application::kClassification, Scheme::kBase, &trace));
+  const RunReport clover = harness_.Run(
+      Config(Application::kClassification, Scheme::kClover, &trace));
+  // The headline shape at reduced scale: big carbon saving, small accuracy
+  // loss, SLA respected, optimization overhead low.
+  EXPECT_GT(clover.CarbonSavePctVs(base), 40.0);
+  EXPECT_LT(clover.AccuracyLossPctVs(base), 7.0);
+  EXPECT_LE(clover.overall_p95_ms, base.params.l_tail_ms * 1.25);
+  EXPECT_GT(clover.optimizations.size(), 0u);
+  const double overhead_pct =
+      clover.optimization_seconds / (6.0 * 3600.0) * 100.0;
+  EXPECT_LT(overhead_pct, 15.0);
+}
+
+TEST_F(IntegrationFixture, OracleDominatesOrMatchesClover) {
+  const auto trace = MakeTrace();
+  const RunReport base = harness_.Run(
+      Config(Application::kClassification, Scheme::kBase, &trace));
+  const RunReport clover = harness_.Run(
+      Config(Application::kClassification, Scheme::kClover, &trace));
+  const RunReport oracle = harness_.Run(
+      Config(Application::kClassification, Scheme::kOracle, &trace));
+  // Oracle pays zero optimization cost and is offline-optimal within the
+  // standardized space; Clover should land near it (paper: within ~5%).
+  EXPECT_GT(oracle.CarbonSavePctVs(base), 40.0);
+  EXPECT_GE(oracle.CarbonSavePctVs(base) + 10.0,
+            clover.CarbonSavePctVs(base));
+  EXPECT_EQ(oracle.optimization_seconds, 0.0);
+}
+
+TEST_F(IntegrationFixture, DeterministicReports) {
+  const auto trace = MakeTrace();
+  const RunReport a = harness_.Run(
+      Config(Application::kLanguage, Scheme::kClover, &trace));
+  const RunReport b = harness_.Run(
+      Config(Application::kLanguage, Scheme::kClover, &trace));
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_DOUBLE_EQ(a.total_carbon_g, b.total_carbon_g);
+  EXPECT_DOUBLE_EQ(a.weighted_accuracy, b.weighted_accuracy);
+  EXPECT_EQ(a.optimizations.size(), b.optimizations.size());
+}
+
+TEST_F(IntegrationFixture, ObjectiveSeriesAlignsWithWindows) {
+  const auto trace = MakeTrace();
+  const RunReport report = harness_.Run(
+      Config(Application::kDetection, Scheme::kClover, &trace));
+  EXPECT_EQ(report.objective_series.size(), report.windows.size());
+}
+
+}  // namespace
+}  // namespace clover::core

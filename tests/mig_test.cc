@@ -1,0 +1,225 @@
+// Tests for the MIG substrate: slice geometry, the 19-layout table (derived
+// from placement rules and matching the paper's anchors), and the
+// slice-demand decomposition solver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "common/check.h"
+#include "mig/decompose.h"
+#include "mig/mig_config.h"
+#include "mig/partition.h"
+#include "mig/slice_type.h"
+
+namespace clover::mig {
+namespace {
+
+TEST(SliceType, Geometry) {
+  EXPECT_EQ(ComputeSlots(SliceType::k1g), 1);
+  EXPECT_EQ(ComputeSlots(SliceType::k7g), 7);
+  EXPECT_EQ(MemorySlices(SliceType::k3g), 4);  // the 3g/20GB asymmetry
+  EXPECT_EQ(MemorySlices(SliceType::k4g), 4);
+  EXPECT_EQ(MemorySlices(SliceType::k7g), 8);
+  EXPECT_DOUBLE_EQ(MemoryGb(SliceType::k1g), 5.0);
+  EXPECT_DOUBLE_EQ(MemoryGb(SliceType::k7g), 40.0);
+  EXPECT_DOUBLE_EQ(ComputeFraction(SliceType::k2g), 2.0 / 7.0);
+  EXPECT_EQ(FromComputeSlots(3), SliceType::k3g);
+  EXPECT_THROW(FromComputeSlots(5), CheckError);
+}
+
+TEST(MigConfig, ExactlyNineteenLayouts) {
+  EXPECT_EQ(MigConfigTable::Get().NumLayouts(), 19);
+  EXPECT_EQ(EnumerateLayouts().size(), 19u);
+}
+
+TEST(MigConfig, PaperAnchors) {
+  const auto& table = MigConfigTable::Get();
+  // Config 1 is the full GPU.
+  EXPECT_EQ(table.Layout(1).ToString(), "[7g]");
+  // Config 3 partitions into {4g, 2g, 1g} (paper Fig. 3's C2).
+  EXPECT_EQ(table.Layout(3).ToString(), "[4g 2g 1g]");
+  // Config 10 partitions into {1g, 1g, 2g, 3g} (paper Sec. 2 example).
+  EXPECT_EQ(table.Layout(10).ToString(), "[1g 1g 2g 3g]");
+  // Config 19 is seven 1g slices (paper Fig. 3's C3 / CO2OPT).
+  EXPECT_EQ(table.Layout(19).ToString(), "[1g 1g 1g 1g 1g 1g 1g]");
+  EXPECT_EQ(table.FinestPartition().NumSlices(), 7);
+}
+
+TEST(MigConfig, EveryLayoutRespectsResourceBudgets) {
+  for (const MigLayout& layout : MigConfigTable::Get().layouts()) {
+    const SliceCounts counts = layout.Counts();
+    EXPECT_LE(TotalComputeSlots(counts), kComputeSlots) << layout.ToString();
+    EXPECT_LE(TotalMemorySlices(counts), kMemorySlices) << layout.ToString();
+    EXPECT_GE(layout.NumSlices(), 1);
+    EXPECT_LE(layout.NumSlices(), 7);
+  }
+}
+
+TEST(MigConfig, LayoutsAreMaximal) {
+  // No layout can host an additional 1g slice: either all 7 compute slots
+  // are covered or all 8 memory slices are consumed ({3g,3g}).
+  for (const MigLayout& layout : MigConfigTable::Get().layouts()) {
+    const SliceCounts counts = layout.Counts();
+    const bool compute_full = TotalComputeSlots(counts) == kComputeSlots;
+    const bool memory_full = TotalMemorySlices(counts) == kMemorySlices;
+    EXPECT_TRUE(compute_full || memory_full) << layout.ToString();
+  }
+}
+
+TEST(MigConfig, ThreeGThreeGIsTheOnlyNonFullLayout) {
+  int non_full = 0;
+  for (const MigLayout& layout : MigConfigTable::Get().layouts()) {
+    if (TotalComputeSlots(layout.Counts()) < kComputeSlots) {
+      ++non_full;
+      EXPECT_EQ(layout.ToString(), "[3g 3g]");
+    }
+  }
+  EXPECT_EQ(non_full, 1);
+}
+
+TEST(MigConfig, LayoutsAreDistinct) {
+  std::set<std::string> seen;
+  for (const MigLayout& layout : MigConfigTable::Get().layouts())
+    EXPECT_TRUE(seen.insert(layout.ToString()).second) << layout.ToString();
+}
+
+TEST(MigConfig, InvalidMemoryCombinationExcluded) {
+  // {3g, 3g, 1g} would need 9 memory slices; it must not be a layout.
+  SliceCounts bad{};
+  bad[static_cast<std::size_t>(SliceType::k3g)] = 2;
+  bad[static_cast<std::size_t>(SliceType::k1g)] = 1;
+  EXPECT_EQ(MigConfigTable::Get().FindByCounts(bad), nullptr);
+}
+
+TEST(MigConfig, FindByCountsLocatesLayouts) {
+  SliceCounts counts{};
+  counts[static_cast<std::size_t>(SliceType::k4g)] = 1;
+  counts[static_cast<std::size_t>(SliceType::k2g)] = 1;
+  counts[static_cast<std::size_t>(SliceType::k1g)] = 1;
+  const MigLayout* layout = MigConfigTable::Get().FindByCounts(counts);
+  ASSERT_NE(layout, nullptr);
+  EXPECT_EQ(layout->id, 3);
+}
+
+TEST(MigConfig, LayoutIdRangeChecked) {
+  EXPECT_THROW(MigConfigTable::Get().Layout(0), CheckError);
+  EXPECT_THROW(MigConfigTable::Get().Layout(20), CheckError);
+}
+
+// --- Decomposition solver ---
+
+SliceCounts Counts(int g1, int g2, int g3, int g4, int g7) {
+  return SliceCounts{g1, g2, g3, g4, g7};
+}
+
+TEST(Decompose, EveryLayoutIsCoverableByOneGpu) {
+  DecompositionSolver solver;
+  for (const MigLayout& layout : MigConfigTable::Get().layouts())
+    EXPECT_TRUE(solver.CanCover(layout.Counts(), 1)) << layout.ToString();
+}
+
+TEST(Decompose, EmptyDemandIsAlwaysCoverable) {
+  DecompositionSolver solver;
+  EXPECT_TRUE(solver.CanCover(Counts(0, 0, 0, 0, 0), 0));
+  EXPECT_TRUE(solver.CanCover(Counts(0, 0, 0, 0, 0), 3));
+}
+
+TEST(Decompose, CapacityLimits) {
+  DecompositionSolver solver;
+  // 8 x 1g does not fit one GPU, fits two.
+  EXPECT_FALSE(solver.CanCover(Counts(8, 0, 0, 0, 0), 1));
+  EXPECT_TRUE(solver.CanCover(Counts(8, 0, 0, 0, 0), 2));
+  // Two 7g need two GPUs.
+  EXPECT_FALSE(solver.CanCover(Counts(0, 0, 0, 0, 2), 1));
+  EXPECT_TRUE(solver.CanCover(Counts(0, 0, 0, 0, 2), 2));
+}
+
+TEST(Decompose, MemoryConstrainedDemand) {
+  DecompositionSolver solver;
+  // {3g,3g,1g} needs 9 memory slices -> impossible on one GPU even though
+  // compute (7 slots) would fit.
+  EXPECT_FALSE(solver.CanCover(Counts(1, 0, 2, 0, 0), 1));
+  EXPECT_TRUE(solver.CanCover(Counts(1, 0, 2, 0, 0), 2));
+}
+
+TEST(Decompose, PartialDemandCoveredWithSurplus) {
+  DecompositionSolver solver;
+  // A single 2g can be carved out of one GPU (surplus slices stay empty).
+  EXPECT_TRUE(solver.CanCover(Counts(0, 1, 0, 0, 0), 1));
+  const auto layouts = solver.ChooseLayouts(Counts(0, 1, 0, 0, 0), 1);
+  ASSERT_TRUE(layouts.has_value());
+  const MigLayout& chosen = MigConfigTable::Get().Layout(layouts->front());
+  EXPECT_GE(chosen.Counts()[static_cast<std::size_t>(SliceType::k2g)], 1);
+}
+
+TEST(Decompose, ChooseLayoutsCoversDemand) {
+  DecompositionSolver solver;
+  const SliceCounts demand = Counts(10, 3, 2, 1, 1);
+  const int gpus = 5;
+  const auto layouts = solver.ChooseLayouts(demand, gpus);
+  ASSERT_TRUE(layouts.has_value());
+  EXPECT_EQ(static_cast<int>(layouts->size()), gpus);
+  SliceCounts supplied{};
+  for (int id : *layouts) {
+    const SliceCounts c = MigConfigTable::Get().Layout(id).Counts();
+    for (std::size_t t = 0; t < supplied.size(); ++t) supplied[t] += c[t];
+  }
+  for (std::size_t t = 0; t < supplied.size(); ++t)
+    EXPECT_GE(supplied[t], demand[t]) << "slice type " << t;
+}
+
+TEST(Decompose, InfeasibleReturnsNullopt) {
+  DecompositionSolver solver;
+  EXPECT_EQ(solver.ChooseLayouts(Counts(0, 0, 0, 0, 3), 2), std::nullopt);
+}
+
+class DecomposeRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposeRandomSweep, FeasibilityMatchesReconstruction) {
+  // Property: CanCover == ChooseLayouts.has_value(), and reconstruction
+  // always dominates the demand.
+  DecompositionSolver solver;
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  for (int trial = 0; trial < 200; ++trial) {
+    const int gpus = 1 + static_cast<int>(rng() % 10);
+    SliceCounts demand{};
+    demand[0] = static_cast<int>(rng() % 12);
+    demand[1] = static_cast<int>(rng() % 6);
+    demand[2] = static_cast<int>(rng() % 4);
+    demand[3] = static_cast<int>(rng() % 3);
+    demand[4] = static_cast<int>(rng() % 3);
+    const bool feasible = solver.CanCover(demand, gpus);
+    const auto layouts = solver.ChooseLayouts(demand, gpus);
+    EXPECT_EQ(feasible, layouts.has_value());
+    if (layouts.has_value()) {
+      SliceCounts supplied{};
+      for (int id : *layouts) {
+        const SliceCounts c = MigConfigTable::Get().Layout(id).Counts();
+        for (std::size_t t = 0; t < supplied.size(); ++t) supplied[t] += c[t];
+      }
+      for (std::size_t t = 0; t < supplied.size(); ++t)
+        EXPECT_GE(supplied[t], demand[t]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposeRandomSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Repartition, CostModelShape) {
+  RepartitionCostModel cost;
+  // Variant-only change: no partition cost, load time grows with params.
+  EXPECT_LT(cost.NodeOfflineSeconds(false, 10.0),
+            cost.NodeOfflineSeconds(false, 200.0));
+  // Layout change adds the partition overhead.
+  EXPECT_GT(cost.NodeOfflineSeconds(true, 10.0),
+            cost.NodeOfflineSeconds(false, 10.0));
+  // No new models, no layout change -> free.
+  EXPECT_DOUBLE_EQ(cost.NodeOfflineSeconds(false, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace clover::mig

@@ -1,0 +1,182 @@
+// Tests for the model zoo (Table 1) and the roofline performance model.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "models/zoo.h"
+#include "perf/calibration.h"
+#include "perf/perf_model.h"
+
+namespace clover {
+namespace {
+
+using models::Application;
+using models::DefaultZoo;
+using models::ModelFamily;
+using models::ModelVariant;
+using perf::PerfModel;
+
+TEST(Zoo, HasThreeApplications) {
+  const auto& zoo = DefaultZoo();
+  EXPECT_EQ(zoo.families().size(), 3u);
+  EXPECT_EQ(zoo.ForApplication(Application::kDetection).family_name, "YOLOv5");
+  EXPECT_EQ(zoo.ForApplication(Application::kLanguage).family_name,
+            "ALBERT-v2");
+  EXPECT_EQ(zoo.ForApplication(Application::kClassification).family_name,
+            "EfficientNet");
+}
+
+TEST(Zoo, VariantCountsMatchTable1) {
+  const auto& zoo = DefaultZoo();
+  EXPECT_EQ(zoo.ForApplication(Application::kDetection).NumVariants(), 3);
+  EXPECT_EQ(zoo.ForApplication(Application::kLanguage).NumVariants(), 4);
+  EXPECT_EQ(zoo.ForApplication(Application::kClassification).NumVariants(), 4);
+}
+
+TEST(Zoo, PublishedAccuracyNumbers) {
+  const auto& zoo = DefaultZoo();
+  const ModelFamily& efficientnet =
+      zoo.ForApplication(Application::kClassification);
+  EXPECT_DOUBLE_EQ(efficientnet.Variant(0).accuracy, 78.8);  // B1
+  EXPECT_DOUBLE_EQ(efficientnet.Variant(3).accuracy, 84.4);  // B7
+  const ModelFamily& yolo = zoo.ForApplication(Application::kDetection);
+  EXPECT_DOUBLE_EQ(yolo.Largest().accuracy, 55.0);  // YOLOv5x6
+  const ModelFamily& albert = zoo.ForApplication(Application::kLanguage);
+  EXPECT_DOUBLE_EQ(albert.Smallest().accuracy, 79.1);  // ALBERT-base
+}
+
+TEST(Zoo, VariantOrdinalRangeChecked) {
+  const ModelFamily& family =
+      DefaultZoo().ForApplication(Application::kLanguage);
+  EXPECT_THROW(family.Variant(-1), CheckError);
+  EXPECT_THROW(family.Variant(4), CheckError);
+}
+
+class FamilySweep : public ::testing::TestWithParam<Application> {};
+
+TEST_P(FamilySweep, QualityMonotonicity) {
+  // Higher ordinal => strictly higher accuracy, FLOPs and parameters.
+  const ModelFamily& family = DefaultZoo().ForApplication(GetParam());
+  for (int i = 1; i < family.NumVariants(); ++i) {
+    EXPECT_GT(family.Variant(i).accuracy, family.Variant(i - 1).accuracy);
+    EXPECT_GT(family.Variant(i).flops_g, family.Variant(i - 1).flops_g);
+    EXPECT_GT(family.Variant(i).params_m, family.Variant(i - 1).params_m);
+  }
+}
+
+TEST_P(FamilySweep, SmallestVariantFitsOneG) {
+  // CO2OPT requires the family's smallest variant to fit a 1g slice.
+  const ModelFamily& family = DefaultZoo().ForApplication(GetParam());
+  EXPECT_TRUE(PerfModel::Fits(family.Smallest(), mig::SliceType::k1g));
+}
+
+TEST_P(FamilySweep, LargestVariantFitsFullGpuOnly) {
+  const ModelFamily& family = DefaultZoo().ForApplication(GetParam());
+  EXPECT_TRUE(PerfModel::Fits(family.Largest(), mig::SliceType::k7g));
+  // The largest variant must NOT fit the smallest slice — otherwise the
+  // paper's OOM rule (disabled graph edges) would never bind.
+  EXPECT_FALSE(PerfModel::Fits(family.Largest(), mig::SliceType::k1g));
+}
+
+TEST_P(FamilySweep, LatencyDecreasesWithBiggerSlices) {
+  const ModelFamily& family = DefaultZoo().ForApplication(GetParam());
+  for (const ModelVariant& variant : family.variants) {
+    double previous = 1e18;
+    for (mig::SliceType slice : mig::kAllSliceTypes) {
+      if (!PerfModel::Fits(variant, slice)) continue;
+      const double latency = PerfModel::LatencyMs(family, variant, slice);
+      EXPECT_LE(latency, previous + 1e-9)
+          << variant.name << " on " << mig::Name(slice);
+      previous = latency;
+    }
+  }
+}
+
+TEST_P(FamilySweep, LatencySaturatesAtModelWidth) {
+  // Beyond the variant's saturation width, bigger slices do not help: the
+  // latency on 7g equals the latency on the smallest slice >= width.
+  const ModelFamily& family = DefaultZoo().ForApplication(GetParam());
+  const ModelVariant& small = family.Smallest();
+  if (small.saturation_slices <= 1.0) {
+    const double on_1g =
+        PerfModel::LatencyMs(family, small, mig::SliceType::k1g);
+    const double on_7g =
+        PerfModel::LatencyMs(family, small, mig::SliceType::k7g);
+    EXPECT_DOUBLE_EQ(on_1g, on_7g);
+  }
+}
+
+TEST_P(FamilySweep, UtilizationBounds) {
+  const ModelFamily& family = DefaultZoo().ForApplication(GetParam());
+  for (const ModelVariant& variant : family.variants) {
+    for (mig::SliceType slice : mig::kAllSliceTypes) {
+      const double u = PerfModel::SmUtilization(variant, slice);
+      EXPECT_GT(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+    // Small slices are fully utilized by any variant with width >= 1.
+    if (variant.saturation_slices >= 1.0)
+      EXPECT_DOUBLE_EQ(PerfModel::SmUtilization(variant, mig::SliceType::k1g),
+                       1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::Values(Application::kDetection,
+                                           Application::kLanguage,
+                                           Application::kClassification));
+
+TEST(PerfModel, BigModelOnSmallSliceIsStarved) {
+  // EfficientNet-B7 (width 5.5) on a 2g slice should be much slower than on
+  // the full GPU — the compute term stretches by ~width/slots.
+  const ModelFamily& family =
+      DefaultZoo().ForApplication(Application::kClassification);
+  const ModelVariant& b7 = family.Largest();
+  const double on_7g = PerfModel::LatencyMs(family, b7, mig::SliceType::k7g);
+  const double on_2g = PerfModel::LatencyMs(family, b7, mig::SliceType::k2g);
+  EXPECT_GT(on_2g, on_7g * 1.4);
+  // And the compute term alone stretches by ~width/slots = 2.75x.
+  const double compute_7g = on_7g - family.overhead_ms;
+  const double compute_2g = on_2g - family.overhead_ms;
+  EXPECT_NEAR(compute_2g / compute_7g, b7.saturation_slices / 2.0, 0.05);
+}
+
+TEST(PerfModel, MinSliceMatchesFitsPredicate) {
+  for (const ModelFamily& family : DefaultZoo().families()) {
+    for (const ModelVariant& variant : family.variants) {
+      const mig::SliceType min_slice = PerfModel::MinSlice(variant);
+      EXPECT_TRUE(PerfModel::Fits(variant, min_slice));
+      // Nothing smaller fits.
+      for (mig::SliceType slice : mig::kAllSliceTypes) {
+        if (mig::ComputeSlots(slice) < mig::ComputeSlots(min_slice))
+          EXPECT_FALSE(PerfModel::Fits(variant, slice)) << variant.name;
+      }
+    }
+  }
+}
+
+TEST(PerfModel, ServiceRateIsInverseLatency) {
+  const ModelFamily& family =
+      DefaultZoo().ForApplication(Application::kDetection);
+  const ModelVariant& v = family.Smallest();
+  const double latency = PerfModel::LatencyMs(family, v, mig::SliceType::k3g);
+  const double rate = PerfModel::ServiceRate(family, v, mig::SliceType::k3g);
+  EXPECT_NEAR(rate * latency, 1e3, 1e-6);
+}
+
+TEST(PerfModel, LatenciesAreServingScale) {
+  // Sanity: every (variant, slice) pair that fits serves within 5ms..2s —
+  // the regime where the Poisson sizing and SLA rules are meaningful.
+  for (const ModelFamily& family : DefaultZoo().families()) {
+    for (const ModelVariant& variant : family.variants) {
+      for (mig::SliceType slice : mig::kAllSliceTypes) {
+        if (!PerfModel::Fits(variant, slice)) continue;
+        const double latency = PerfModel::LatencyMs(family, variant, slice);
+        EXPECT_GT(latency, 5.0) << variant.name;
+        EXPECT_LT(latency, 2000.0) << variant.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clover

@@ -1,0 +1,87 @@
+// Tests for the power model and the busy-time energy meter.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "models/zoo.h"
+#include "perf/calibration.h"
+#include "power/energy_meter.h"
+#include "power/power_model.h"
+
+namespace clover::power {
+namespace {
+
+using models::Application;
+using models::DefaultZoo;
+
+TEST(PowerModel, StaticIncludesGpuAndHostIdle) {
+  EXPECT_DOUBLE_EQ(PowerModel::StaticWattsPerGpu(),
+                   perf::kGpuIdleWatts + perf::kHostIdleWattsPerGpu);
+}
+
+TEST(PowerModel, DynamicScalesWithSliceWidth) {
+  const auto& family = DefaultZoo().ForApplication(Application::kLanguage);
+  const auto& variant = family.Largest();  // width 6: saturates everything
+  double previous = 0.0;
+  for (mig::SliceType slice :
+       {mig::SliceType::k3g, mig::SliceType::k4g, mig::SliceType::k7g}) {
+    const double watts = PowerModel::DynamicWatts(variant, slice);
+    EXPECT_GT(watts, previous);
+    previous = watts;
+  }
+}
+
+TEST(PowerModel, SmallModelWastesBigSlicePower) {
+  // A small model on a 7g slice draws less dynamic power than a saturating
+  // one (lower occupancy) but still pays the slice-wide active-power floor;
+  // the energy *per request* there is far worse than on a 1g slice because
+  // latency barely improves while power is ~width x higher — the core of
+  // paper Opportunity 2.
+  const auto& family =
+      DefaultZoo().ForApplication(Application::kClassification);
+  const auto& b1 = family.Smallest();  // width 0.9
+  const auto& b7 = family.Largest();   // width 5.5
+  const double b1_on_7g = PowerModel::DynamicWatts(b1, mig::SliceType::k7g);
+  const double b7_on_7g = PowerModel::DynamicWatts(b7, mig::SliceType::k7g);
+  EXPECT_LT(b1_on_7g, b7_on_7g);
+  // The active floor keeps even the tiny model's draw substantial.
+  EXPECT_GT(b1_on_7g,
+            perf::kGpuMaxDynamicWatts * perf::kActivePowerFloor * 0.9);
+  EXPECT_GT(b1_on_7g, PowerModel::DynamicWatts(b1, mig::SliceType::k1g));
+}
+
+TEST(PowerModel, FullGpuBusyPowerIsRealistic) {
+  // A saturating model on the full GPU: 30 + 345 + host share — in the
+  // 400-460 W envelope of an A100 node share.
+  const auto& family = DefaultZoo().ForApplication(Application::kDetection);
+  const double watts =
+      PowerModel::StaticWattsPerGpu() +
+      PowerModel::DynamicWatts(family.Largest(), mig::SliceType::k7g);
+  EXPECT_GT(watts, 350.0);
+  EXPECT_LT(watts, 500.0);
+}
+
+TEST(EnergyMeter, StaticOnlyWhenIdle) {
+  EnergyMeter meter(4);
+  const double joules = meter.DrainWindowJoules(100.0);
+  EXPECT_DOUBLE_EQ(joules, PowerModel::StaticWattsPerGpu() * 4 * 100.0);
+}
+
+TEST(EnergyMeter, BusyEnergyAccumulatesAndResets) {
+  EnergyMeter meter(1);
+  meter.AddBusy(10.0, 200.0);  // 2000 J dynamic
+  const double first = meter.DrainWindowJoules(60.0);
+  EXPECT_DOUBLE_EQ(first, PowerModel::StaticWattsPerGpu() * 60.0 + 2000.0);
+  // Second window has no pending busy energy.
+  const double second = meter.DrainWindowJoules(60.0);
+  EXPECT_DOUBLE_EQ(second, PowerModel::StaticWattsPerGpu() * 60.0);
+  EXPECT_DOUBLE_EQ(meter.total_joules(), first + second);
+}
+
+TEST(EnergyMeter, RejectsNegativeInputs) {
+  EnergyMeter meter(1);
+  EXPECT_THROW(meter.DrainWindowJoules(-1.0), CheckError);
+  EXPECT_THROW(EnergyMeter(0), CheckError);
+}
+
+}  // namespace
+}  // namespace clover::power

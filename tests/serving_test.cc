@@ -1,0 +1,183 @@
+// Tests for deployments, the reconfiguration planner, and the threaded
+// serving runtime.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "serving/deployment.h"
+#include "serving/reconfig_planner.h"
+#include "serving/runtime.h"
+
+namespace clover::serving {
+namespace {
+
+using models::Application;
+using models::DefaultZoo;
+
+TEST(Deployment, BaseHostsLargestVariantUnpartitioned) {
+  const Deployment base = MakeBase(Application::kClassification, 10);
+  base.Validate(DefaultZoo());
+  EXPECT_EQ(base.NumGpus(), 10);
+  EXPECT_EQ(base.NumInstances(), 10);
+  for (const GpuAssignment& gpu : base.gpus) {
+    EXPECT_EQ(gpu.layout_id, 1);
+    EXPECT_EQ(gpu.variant_ordinals.size(), 1u);
+    EXPECT_EQ(gpu.variant_ordinals[0], 3);  // EfficientNet-B7
+  }
+}
+
+TEST(Deployment, Co2OptHostsSmallestOnFinestPartition) {
+  const Deployment co2 = MakeCo2Opt(Application::kDetection, 10, DefaultZoo());
+  co2.Validate(DefaultZoo());
+  EXPECT_EQ(co2.NumInstances(), 70);
+  for (const GpuAssignment& gpu : co2.gpus) {
+    EXPECT_EQ(gpu.layout_id, 19);
+    for (int ordinal : gpu.variant_ordinals) EXPECT_EQ(ordinal, 0);
+  }
+}
+
+TEST(Deployment, ValidateRejectsOomPlacement) {
+  // EfficientNet-B7 (needs >5 GB) on a 1g slice must fail validation.
+  Deployment bad = MakeUniform(Application::kClassification, 1, 19, 3);
+  EXPECT_THROW(bad.Validate(DefaultZoo()), CheckError);
+  EXPECT_FALSE(bad.IsFeasible(DefaultZoo()));
+}
+
+TEST(Deployment, ValidateRejectsArityMismatch) {
+  Deployment d = MakeBase(Application::kLanguage, 2);
+  d.gpus[0].variant_ordinals.push_back(0);  // layout 1 has a single slice
+  EXPECT_THROW(d.Validate(DefaultZoo()), CheckError);
+}
+
+TEST(Deployment, EmptySlicesAreNotInstances) {
+  Deployment d = MakeUniform(Application::kLanguage, 1, 19, 0);
+  d.gpus[0].variant_ordinals[3] = kEmptySlice;
+  d.gpus[0].variant_ordinals[5] = kEmptySlice;
+  EXPECT_EQ(d.NumInstances(), 5);
+  EXPECT_EQ(d.Instances().size(), 5u);
+  d.Validate(DefaultZoo());
+}
+
+TEST(Deployment, AllEmptyIsInvalid) {
+  Deployment d = MakeUniform(Application::kLanguage, 1, 1, 0);
+  d.gpus[0].variant_ordinals[0] = kEmptySlice;
+  EXPECT_THROW(d.Validate(DefaultZoo()), CheckError);
+}
+
+TEST(ReconfigPlanner, NoChangeNoCost) {
+  const Deployment d = MakeBase(Application::kDetection, 4);
+  const ReconfigPlan plan = PlanReconfiguration(d, d, DefaultZoo());
+  EXPECT_TRUE(plan.Empty());
+  EXPECT_DOUBLE_EQ(plan.MaxOfflineSeconds(), 0.0);
+}
+
+TEST(ReconfigPlanner, VariantSwapTouchesOnlyChangedGpu) {
+  const Deployment from = MakeBase(Application::kClassification, 4);
+  Deployment to = from;
+  to.gpus[2].variant_ordinals[0] = 1;  // B7 -> B3 on gpu2 only
+  const ReconfigPlan plan = PlanReconfiguration(from, to, DefaultZoo());
+  ASSERT_EQ(plan.gpus.size(), 1u);
+  EXPECT_EQ(plan.gpus[0].gpu_index, 2);
+  EXPECT_FALSE(plan.gpus[0].layout_changed);
+  EXPECT_EQ(plan.gpus[0].instances_restarted, 1);
+  EXPECT_GT(plan.gpus[0].offline_seconds, 0.0);
+}
+
+TEST(ReconfigPlanner, LayoutChangeRestartsEverything) {
+  const Deployment from = MakeBase(Application::kClassification, 2);
+  const Deployment to =
+      MakeCo2Opt(Application::kClassification, 2, DefaultZoo());
+  const ReconfigPlan plan = PlanReconfiguration(from, to, DefaultZoo());
+  ASSERT_EQ(plan.gpus.size(), 2u);
+  for (const GpuReconfigPlan& gpu : plan.gpus) {
+    EXPECT_TRUE(gpu.layout_changed);
+    EXPECT_EQ(gpu.instances_restarted, 7);
+  }
+  // Larger models load slower: repartitioning to BASE (B7) costs more than
+  // to CO2OPT (B1).
+  const ReconfigPlan back = PlanReconfiguration(to, from, DefaultZoo());
+  EXPECT_GT(back.MaxOfflineSeconds(), plan.MaxOfflineSeconds());
+}
+
+TEST(ReconfigPlanner, MismatchedClustersRejected) {
+  const Deployment a = MakeBase(Application::kDetection, 2);
+  const Deployment b = MakeBase(Application::kDetection, 3);
+  EXPECT_THROW(PlanReconfiguration(a, b, DefaultZoo()), CheckError);
+}
+
+// --- Threaded runtime ---
+
+InferenceRuntime::Options FastOptions() {
+  InferenceRuntime::Options options;
+  options.time_scale = 1e-4;  // 30 ms simulated -> 3 us wall
+  return options;
+}
+
+TEST(Runtime, ServesEverySubmittedRequest) {
+  const Deployment d = MakeUniform(Application::kClassification, 2, 19, 0);
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  runtime.Start();
+  constexpr int kRequests = 500;
+  for (int i = 0; i < kRequests; ++i) ASSERT_TRUE(runtime.Submit());
+  runtime.Drain();
+  const auto stats = runtime.SnapshotStats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+  std::uint64_t served = 0;
+  for (std::uint64_t s : stats.served_per_instance) served += s;
+  EXPECT_EQ(served, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(Runtime, AccuracyGreedyDispatchPrefersBigModels) {
+  // One B7-on-7g instance + seven B1-on-1g instances: under light load the
+  // B7 instance should take a disproportionate share.
+  Deployment d;
+  d.app = Application::kClassification;
+  {
+    GpuAssignment gpu;
+    gpu.layout_id = 1;
+    gpu.variant_ordinals = {3};  // B7
+    d.gpus.push_back(gpu);
+  }
+  {
+    GpuAssignment gpu;
+    gpu.layout_id = 19;
+    gpu.variant_ordinals.assign(7, 0);  // B1
+    d.gpus.push_back(gpu);
+  }
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  runtime.Start();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(runtime.Submit());
+    // Pace submissions so the queue never backs up: the dispatcher should
+    // always find the B7 instance idle first.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  runtime.Drain();
+  const auto stats = runtime.SnapshotStats();
+  ASSERT_EQ(stats.served_per_instance.size(), 8u);
+  // Weighted accuracy must sit strictly above all-B1 serving.
+  EXPECT_GT(stats.weighted_accuracy, 78.8);
+}
+
+TEST(Runtime, SubmitAfterDrainFails) {
+  const Deployment d = MakeUniform(Application::kLanguage, 1, 1, 3);
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  runtime.Start();
+  ASSERT_TRUE(runtime.Submit());
+  runtime.Drain();
+  EXPECT_FALSE(runtime.Submit());
+}
+
+TEST(Runtime, LatenciesAreAtLeastServiceTime) {
+  const Deployment d = MakeUniform(Application::kDetection, 1, 1, 2);
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  runtime.Start();
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(runtime.Submit());
+  runtime.Drain();
+  const auto stats = runtime.SnapshotStats();
+  // p95 (in simulated ms) cannot be below the single-instance service time.
+  EXPECT_GE(stats.p95_latency_ms, 100.0);  // YOLOv5x6 on 7g is ~170 ms
+}
+
+}  // namespace
+}  // namespace clover::serving
