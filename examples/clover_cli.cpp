@@ -2,7 +2,7 @@
 // command line and print the full report; the operator-facing front end of
 // the library.
 //
-//   clover_cli --scheme clover --app classification --trace ciso-march \
+//   clover_cli --scheme clover --app classification --trace ciso-march
 //              --hours 48 --gpus 10 --lambda 0.5 [--limit 1.0]
 //              [--trace-csv path.csv] [--csv report.csv] [--seed 1]
 //

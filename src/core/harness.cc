@@ -120,6 +120,7 @@ RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
   sim_options.arrival_rate_qps = calibration.arrival_rate_qps;
   sim_options.window_seconds = config.control_interval_s;
   sim_options.seed = config.seed;
+  sim_options.burst = config.burst;
   sim::ClusterSim sim(initial, *zoo_, config.trace, sim_options);
 
   std::unique_ptr<Controller> controller;

@@ -34,6 +34,10 @@ struct ExperimentConfig {
   int sizing_gpus = 10;
   double utilization_target = 0.75;
   std::optional<double> arrival_rate_qps;  // overrides the sizing rule
+  // Burst modulation of the arrival process (scenario-matrix stress runs).
+  // Calibration always runs steady: the SLA is defined on the steady
+  // baseline, so bursts show up as SLO pressure, not a relaxed target.
+  sim::BurstOptions burst;
   double lambda = 0.5;                     // objective weight (paper default)
   std::optional<double> accuracy_limit_pct;  // threshold mode (Fig. 14)
   double ci_base = 250.0;  // reference intensity for C_base

@@ -6,16 +6,43 @@
 
 namespace clover::sim {
 
-PoissonArrivals::PoissonArrivals(double rate_qps, std::uint64_t seed)
-    : rate_qps_(rate_qps), rng_(seed, "poisson-arrivals") {
+PoissonArrivals::PoissonArrivals(double rate_qps, std::uint64_t seed,
+                                 const BurstOptions& burst)
+    : rate_qps_(rate_qps), burst_(burst), rng_(seed, "poisson-arrivals") {
   CLOVER_CHECK(rate_qps_ > 0.0);
-  next_time_ = rng_.NextExponential(rate_qps_);
+  if (burst_.enabled()) {
+    // A multiplier below 1 would silently turn "bursts" into lulls with a
+    // different RNG draw sequence; reject rather than surprise.
+    CLOVER_CHECK(burst_.rate_multiplier > 1.0);
+    CLOVER_CHECK(burst_.mean_burst_s > 0.0);
+    CLOVER_CHECK(burst_.mean_gap_s > 0.0);
+    // Start in a quiet phase so short runs still see the base rate first.
+    phase_end_ = rng_.NextExponential(1.0 / burst_.mean_gap_s);
+  }
+  next_time_ = AdvanceFrom(0.0);
 }
 
 double PoissonArrivals::NextArrivalTime() {
   const double t = next_time_;
-  next_time_ += rng_.NextExponential(rate_qps_);
+  next_time_ = AdvanceFrom(next_time_);
   return t;
+}
+
+double PoissonArrivals::AdvanceFrom(double t) {
+  if (!burst_.enabled()) return t + rng_.NextExponential(rate_qps_);
+  for (;;) {
+    const double rate =
+        in_burst_ ? rate_qps_ * burst_.rate_multiplier : rate_qps_;
+    const double candidate = t + rng_.NextExponential(rate);
+    // A candidate inside the current phase is exact; one past the phase
+    // boundary is discarded and resampled from the boundary at the next
+    // phase's rate, which the exponential's memorylessness makes exact.
+    if (candidate <= phase_end_) return candidate;
+    t = phase_end_;
+    in_burst_ = !in_burst_;
+    const double mean_s = in_burst_ ? burst_.mean_burst_s : burst_.mean_gap_s;
+    phase_end_ = t + rng_.NextExponential(1.0 / mean_s);
+  }
 }
 
 double SizeArrivalRate(const models::ModelZoo& zoo, models::Application app,

@@ -13,17 +13,41 @@
 
 namespace clover::sim {
 
+// Optional burst modulation: a two-state Markov-modulated Poisson process
+// that alternates between a quiet phase at the base rate and a burst phase
+// at `rate_multiplier` times the base rate, with exponentially distributed
+// phase durations. `rate_multiplier == 1` (the default) is the plain
+// Poisson process, bit-identical to the unmodulated stream for a given
+// seed. Used by the scenario matrix to stress SLO attainment under bursty
+// traffic that the steady sizing rule did not provision for.
+struct BurstOptions {
+  double rate_multiplier = 1.0;  // > 1 enables bursts; < 1 is rejected
+  double mean_burst_s = 60.0;    // mean burst-phase duration
+  double mean_gap_s = 240.0;     // mean quiet-phase duration
+
+  bool enabled() const { return rate_multiplier != 1.0; }
+};
+
 class PoissonArrivals {
  public:
-  PoissonArrivals(double rate_qps, std::uint64_t seed);
+  PoissonArrivals(double rate_qps, std::uint64_t seed,
+                  const BurstOptions& burst = {});
 
   // Time of the next arrival at/after the current position.
   double NextArrivalTime();
 
   double rate_qps() const { return rate_qps_; }
+  const BurstOptions& burst() const { return burst_; }
 
  private:
+  // Samples the first arrival strictly after `t`, advancing the phase
+  // machine across burst/quiet boundaries (exact by memorylessness).
+  double AdvanceFrom(double t);
+
   double rate_qps_;
+  BurstOptions burst_;
+  bool in_burst_ = false;
+  double phase_end_ = 0.0;  // time the current phase flips (burst mode only)
   double next_time_ = 0.0;
   RngStream rng_;
 };

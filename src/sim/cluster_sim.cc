@@ -20,7 +20,7 @@ ClusterSim::ClusterSim(serving::Deployment initial,
       trace_(trace),
       options_(options),
       deployment_(std::move(initial)),
-      arrivals_(options.arrival_rate_qps, options.seed),
+      arrivals_(options.arrival_rate_qps, options.seed, options.burst),
       jitter_rng_(options.seed, "service-jitter"),
       meter_(deployment_.NumGpus()),
       accountant_(trace, options.pue) {

@@ -41,6 +41,7 @@ struct SimOptions {
   std::uint64_t seed = 1;
   double service_jitter_sigma = perf::kServiceJitterSigma;
   double pue = perf::kPue;
+  BurstOptions burst;  // default: steady Poisson arrivals
 };
 
 // Aggregate measured over a probe interval (one optimizer evaluation).

@@ -192,8 +192,9 @@ TEST(Neighbors, NeverProposesOomEdges) {
     ASSERT_TRUE(neighbor.has_value());
     for (int v = 0; v < neighbor->num_variants(); ++v)
       for (mig::SliceType s : mig::kAllSliceTypes)
-        if (neighbor->Weight(v, s) > 0)
+        if (neighbor->Weight(v, s) > 0) {
           EXPECT_TRUE(perf::PerfModel::Fits(family.Variant(v), s));
+        }
     if (i % 20 == 19) center = *neighbor;
   }
 }

@@ -114,9 +114,10 @@ TEST_P(FamilySweep, UtilizationBounds) {
       EXPECT_LE(u, 1.0);
     }
     // Small slices are fully utilized by any variant with width >= 1.
-    if (variant.saturation_slices >= 1.0)
+    if (variant.saturation_slices >= 1.0) {
       EXPECT_DOUBLE_EQ(PerfModel::SmUtilization(variant, mig::SliceType::k1g),
                        1.0);
+    }
   }
 }
 
@@ -147,8 +148,9 @@ TEST(PerfModel, MinSliceMatchesFitsPredicate) {
       EXPECT_TRUE(PerfModel::Fits(variant, min_slice));
       // Nothing smaller fits.
       for (mig::SliceType slice : mig::kAllSliceTypes) {
-        if (mig::ComputeSlots(slice) < mig::ComputeSlots(min_slice))
+        if (mig::ComputeSlots(slice) < mig::ComputeSlots(min_slice)) {
           EXPECT_FALSE(PerfModel::Fits(variant, slice)) << variant.name;
+        }
       }
     }
   }

@@ -1,0 +1,28 @@
+#include "testing/golden.h"
+
+#include <cmath>
+
+namespace clover::testing {
+
+::testing::AssertionResult InGoldenRange(const char* metric, double value,
+                                         GoldenRange range) {
+  if (value >= range.lo && value <= range.hi)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << metric << " = " << value << " outside golden envelope ["
+         << range.lo << ", " << range.hi << "]";
+}
+
+::testing::AssertionResult NearWithTolerance(const char* what, double actual,
+                                             double expected, double rel_tol,
+                                             double abs_tol) {
+  const double diff = std::abs(actual - expected);
+  const double bound = std::max(abs_tol, rel_tol * std::abs(expected));
+  if (diff <= bound) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << what << ": |" << actual << " - " << expected << "| = " << diff
+         << " exceeds tolerance " << bound << " (rel " << rel_tol << ", abs "
+         << abs_tol << ")";
+}
+
+}  // namespace clover::testing

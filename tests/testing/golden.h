@@ -1,0 +1,31 @@
+// Golden-value helpers and tolerance comparators for the scenario matrix.
+//
+// Scenario metrics are stochastic-simulation outputs: exact per-seed, but
+// sensitive to any intentional model recalibration. Golden assertions are
+// therefore envelopes ([lo, hi] ranges) and relative tolerances rather than
+// exact equality, so the matrix pins the paper's qualitative shape without
+// ossifying incidental decimals.
+#pragma once
+
+#include <gtest/gtest.h>
+
+namespace clover::testing {
+
+// Inclusive envelope a golden metric must land in.
+struct GoldenRange {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// EXPECT_TRUE(InGoldenRange("carbon_save_pct", value, {40.0, 90.0}))
+// fails with the metric name, the value and the envelope.
+::testing::AssertionResult InGoldenRange(const char* metric, double value,
+                                         GoldenRange range);
+
+// Relative/absolute tolerance comparison: passes when
+// |actual - expected| <= max(abs_tol, rel_tol * |expected|).
+::testing::AssertionResult NearWithTolerance(const char* what, double actual,
+                                             double expected, double rel_tol,
+                                             double abs_tol = 0.0);
+
+}  // namespace clover::testing
