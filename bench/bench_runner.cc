@@ -1,0 +1,364 @@
+// bench_runner: named end-to-end performance suites with machine-readable
+// output — the perf baseline every PR measures itself against.
+//
+//   bench_runner --suite smoke            fast suite (CI; a few seconds)
+//   bench_runner --suite full             paper-scale suite (minutes)
+//   flags: --threads N (default 4) --seed S --out DIR (default ".")
+//
+// Each suite emits <out>/BENCH_<suite>.json (clover-bench-v1, see
+// bench/timing.h for the schema; scripts/validate_bench_json.py validates
+// it) and prints the same numbers as a human table.
+//
+// Scenarios:
+//   sim_hot_path     raw discrete-event simulator throughput (events/sec,
+//                    p50/p99 simulated latency) on a BASE cluster
+//   opt_random       random search over ReplayEvaluator batches, 1 thread
+//                    vs --threads; reports candidates/sec, speedup, and
+//                    whether the two runs were bit-identical
+//   opt_annealing    same comparison for the graph-space annealer
+//   e2e_step         full trace -> controller -> simulator pipeline on the
+//                    scenario-matrix step-trace fixture (BASE + CLOVER)
+//
+// Exit status is nonzero when any parallel run failed the bit-identity
+// check, so CI catches determinism regressions without a threshold.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/harness.h"
+#include "graph/neighbors.h"
+#include "models/zoo.h"
+#include "opt/evaluator.h"
+#include "opt/random_search.h"
+#include "sim/arrivals.h"
+#include "timing.h"
+
+#ifdef CLOVER_HAVE_SCENARIOS
+#include "testing/scenario.h"
+#endif
+
+namespace clover::bench {
+namespace {
+
+struct RunnerFlags {
+  std::string suite = "smoke";
+  int threads = 4;
+  std::uint64_t seed = 1;
+  std::string out_dir = ".";
+};
+
+RunnerFlags ParseRunnerFlags(int argc, char** argv) {
+  RunnerFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      CLOVER_CHECK_MSG(i + 1 < argc, "missing value for " << arg);
+      return argv[++i];
+    };
+    // Strict unsigned parse: stoull alone would accept trailing garbage
+    // ("4x" -> 4) and wrap negatives (-1 -> 2^64-1); reject both with the
+    // same diagnostic style the string flags produce.
+    auto next_u64 = [&]() -> std::uint64_t {
+      const std::string value = next();
+      try {
+        std::size_t consumed = 0;
+        CLOVER_CHECK(!value.empty() && value.front() != '-');
+        const std::uint64_t parsed = std::stoull(value, &consumed);
+        CLOVER_CHECK(consumed == value.size());
+        return parsed;
+      } catch (const std::exception&) {
+        std::cerr << "bad numeric value '" << value << "' for " << arg
+                  << " (see --help)\n";
+        std::exit(2);
+      }
+    };
+    if (arg == "--suite") {
+      flags.suite = next();
+    } else if (arg == "--threads") {
+      const std::uint64_t threads = next_u64();
+      CLOVER_CHECK_MSG(threads >= 1 && threads <= 1024,
+                       "--threads out of range: " << threads);
+      flags.threads = static_cast<int>(threads);
+    } else if (arg == "--seed") {
+      flags.seed = next_u64();
+    } else if (arg == "--out") {
+      flags.out_dir = next();
+    } else if (arg == "--help") {
+      std::cout << "flags: --suite smoke|full --threads N --seed S "
+                   "--out DIR\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown flag " << arg << " (see --help)\n";
+      std::exit(2);
+    }
+  }
+  CLOVER_CHECK_MSG(flags.suite == "smoke" || flags.suite == "full",
+                   "unknown suite " << flags.suite);
+  return flags;
+}
+
+// Per-suite scale knobs.
+struct SuiteScale {
+  int gpus = 4;
+  double sim_seconds = 900.0;       // sim_hot_path span
+  int candidates = 64;              // optimizer evaluations per search
+  int random_batch = 16;            // random-search round size
+  int anneal_batch = 8;             // annealer speculative round size
+  double e2e_hours = 2.0;           // e2e_step span
+};
+
+SuiteScale ScaleFor(const std::string& suite) {
+  SuiteScale scale;
+  if (suite == "full") {
+    scale.gpus = 10;
+    scale.sim_seconds = 7200.0;
+    scale.candidates = 256;
+    scale.e2e_hours = 12.0;
+  }
+  return scale;
+}
+
+carbon::CarbonTrace FlatBenchTrace() {
+  return carbon::CarbonTrace("bench-flat", 3600.0,
+                             std::vector<double>(48, 250.0));
+}
+
+// ---------------------------------------------------------------------------
+// sim_hot_path: raw simulator throughput.
+// ---------------------------------------------------------------------------
+ScenarioTiming RunSimHotPath(const RunnerFlags& flags,
+                             const SuiteScale& scale,
+                             const carbon::CarbonTrace& trace) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const models::Application app = models::Application::kClassification;
+  serving::Deployment base = serving::MakeBase(app, scale.gpus);
+  sim::SimOptions options;
+  options.arrival_rate_qps = sim::SizeArrivalRate(zoo, app, scale.gpus);
+  options.seed = flags.seed;
+  sim::ClusterSim sim(base, zoo, &trace, options);
+
+  WallTimer timer;
+  sim.AdvanceTo(scale.sim_seconds);
+  const double wall = timer.Seconds();
+
+  ScenarioTiming timing;
+  timing.name = "sim_hot_path";
+  timing.wall_seconds = wall;
+  timing.events = sim.total_arrivals() + sim.total_completions();
+  timing.events_per_sec =
+      wall > 0.0 ? static_cast<double>(timing.events) / wall : 0.0;
+  timing.sim_p50_ms = sim.OverallQuantileMs(0.50);
+  timing.sim_p99_ms = sim.OverallQuantileMs(0.99);
+  timing.notes = std::to_string(scale.gpus) + " GPUs, " +
+                 std::to_string(static_cast<int>(scale.sim_seconds)) +
+                 " simulated seconds";
+  return timing;
+}
+
+// ---------------------------------------------------------------------------
+// opt_random / opt_annealing: parallel candidate evaluation.
+// ---------------------------------------------------------------------------
+
+// Shared context for the optimizer scenarios: a BASE-calibrated objective
+// and replica options for the pure replay evaluator.
+struct OptContext {
+  const models::ModelZoo* zoo = nullptr;
+  const carbon::CarbonTrace* trace = nullptr;
+  int gpus = 0;
+  opt::ReplayEvaluator::Options replay;
+  opt::ObjectiveParams params;
+  double ci = 250.0;
+  graph::ConfigGraph start;
+
+  OptContext() : start(models::Application::kClassification, 1) {}
+};
+
+OptContext MakeOptContext(const RunnerFlags& flags, const SuiteScale& scale,
+                          const carbon::CarbonTrace& trace) {
+  OptContext context;
+  context.zoo = &models::DefaultZoo();
+  context.trace = &trace;
+  context.gpus = scale.gpus;
+  const models::Application app = models::Application::kClassification;
+
+  context.replay.arrival_rate_qps =
+      sim::SizeArrivalRate(*context.zoo, app, scale.gpus);
+  context.replay.settle_s = 2.0;
+  context.replay.measure_window_s = 10.0;
+  context.replay.seed = flags.seed;
+
+  const serving::Deployment base = serving::MakeBase(app, scale.gpus);
+  context.start = graph::ConfigGraph::FromDeployment(base, *context.zoo);
+  context.replay = opt::ReplayEvaluator::CalibrateAgainst(
+      context.zoo, context.trace, scale.gpus, context.start, context.replay,
+      context.ci, &context.params);
+  return context;
+}
+
+std::vector<std::unique_ptr<opt::Evaluator>> MakeReplicas(
+    const OptContext& context, int count) {
+  std::vector<std::unique_ptr<opt::Evaluator>> replicas;
+  replicas.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    replicas.push_back(std::make_unique<opt::ReplayEvaluator>(
+        context.zoo, context.trace, context.gpus, context.replay));
+  return replicas;
+}
+
+struct SearchRun {
+  opt::SearchResult result;
+  double wall_seconds = 0.0;
+};
+
+SearchRun RunRandomOnce(const OptContext& context, const RunnerFlags& flags,
+                        const SuiteScale& scale, int threads) {
+  ThreadPool pool(threads);
+  opt::ParallelBatchEvaluator batch(&pool, MakeReplicas(context, threads));
+  // The serial-fallback evaluator is unused once a batch executor is set,
+  // but the constructor requires one.
+  opt::ReplayEvaluator fallback(context.zoo, context.trace, context.gpus,
+                                context.replay);
+  graph::GraphMapper mapper(context.zoo, context.gpus);
+  opt::RandomSearch::Options options;
+  options.max_evaluations = scale.candidates;
+  options.no_improve_limit = 1 << 30;  // run the full candidate budget
+  options.time_budget_s = 1e12;
+  options.batch_size = scale.random_batch;
+  opt::RandomSearch search(&fallback, &mapper, options, flags.seed);
+  search.SetBatchEvaluator(&batch);
+
+  SearchRun run;
+  WallTimer timer;
+  run.result = search.Run(context.start, context.params, context.ci);
+  run.wall_seconds = timer.Seconds();
+  return run;
+}
+
+SearchRun RunAnnealOnce(const OptContext& context, const RunnerFlags& flags,
+                        const SuiteScale& scale, int threads) {
+  ThreadPool pool(threads);
+  opt::ParallelBatchEvaluator batch(&pool, MakeReplicas(context, threads));
+  opt::ReplayEvaluator fallback(context.zoo, context.trace, context.gpus,
+                                context.replay);
+  graph::GraphMapper mapper(context.zoo, context.gpus);
+  graph::NeighborSampler sampler(&mapper, flags.seed);
+  opt::SimulatedAnnealing::Options options;
+  options.max_evaluations = scale.candidates;
+  options.no_improve_limit = 1 << 30;
+  options.time_budget_s = 1e12;
+  options.batch_size = scale.anneal_batch;
+  opt::SimulatedAnnealing annealer(&fallback, &sampler, options, flags.seed);
+  annealer.SetBatchEvaluator(&batch);
+
+  SearchRun run;
+  WallTimer timer;
+  run.result = annealer.Run(context.start, context.params, context.ci);
+  run.wall_seconds = timer.Seconds();
+  return run;
+}
+
+template <typename RunOnce>
+ScenarioTiming CompareSerialParallel(const std::string& name,
+                                     const RunnerFlags& flags,
+                                     RunOnce&& run_once) {
+  const SearchRun serial = run_once(1);
+  const SearchRun parallel = run_once(flags.threads);
+
+  ScenarioTiming timing;
+  timing.name = name;
+  timing.wall_seconds = parallel.wall_seconds;
+  timing.candidates = parallel.result.evaluations.size();
+  timing.candidates_per_sec =
+      parallel.wall_seconds > 0.0
+          ? static_cast<double>(timing.candidates) / parallel.wall_seconds
+          : 0.0;
+  const double serial_rate =
+      serial.wall_seconds > 0.0
+          ? static_cast<double>(serial.result.evaluations.size()) /
+                serial.wall_seconds
+          : 0.0;
+  timing.speedup_vs_serial =
+      serial_rate > 0.0 ? timing.candidates_per_sec / serial_rate : 0.0;
+  // The shared contract definition (opt/annealing.h), the same predicate
+  // the unit tests assert.
+  timing.deterministic =
+      opt::SearchResultsBitIdentical(serial.result, parallel.result);
+  timing.notes = std::to_string(timing.candidates) + " candidates, " +
+                 std::to_string(flags.threads) + " threads vs 1 (" +
+                 TextTable::Num(serial_rate, 1) + " cand/s serial)";
+  return timing;
+}
+
+}  // namespace
+}  // namespace clover::bench
+
+int main(int argc, char** argv) {
+  using namespace clover;
+  const bench::RunnerFlags flags = bench::ParseRunnerFlags(argc, argv);
+  const bench::SuiteScale scale = bench::ScaleFor(flags.suite);
+  const carbon::CarbonTrace flat = bench::FlatBenchTrace();
+
+  std::cout << "==== bench_runner — suite " << flags.suite << " ====\n"
+            << flags.threads << " threads | seed " << flags.seed << "\n\n";
+
+  bench::SuiteTiming suite;
+  suite.suite = flags.suite;
+  suite.threads = flags.threads;
+  suite.seed = flags.seed;
+
+  suite.scenarios.push_back(bench::RunSimHotPath(flags, scale, flat));
+
+  const bench::OptContext context = bench::MakeOptContext(flags, scale, flat);
+  suite.scenarios.push_back(bench::CompareSerialParallel(
+      "opt_random", flags, [&](int threads) {
+        return bench::RunRandomOnce(context, flags, scale, threads);
+      }));
+  suite.scenarios.push_back(bench::CompareSerialParallel(
+      "opt_annealing", flags, [&](int threads) {
+        return bench::RunAnnealOnce(context, flags, scale, threads);
+      }));
+
+#ifdef CLOVER_HAVE_SCENARIOS
+  {
+    testing::Scenario scenario;
+    scenario.name = "bench-e2e-step";
+    scenario.trace = testing::TraceKind::kStep;
+    scenario.duration_hours = scale.e2e_hours;
+    scenario.num_gpus = std::min(scale.gpus, 4);
+    scenario.sizing_gpus = scenario.num_gpus;
+    scenario.seed = flags.seed;
+    const carbon::CarbonTrace trace = testing::MakeScenarioTrace(scenario);
+    core::ExperimentHarness harness(&models::DefaultZoo());
+    bench::WallTimer timer;
+    const testing::ScenarioRun run =
+        testing::RunScenario(harness, scenario, trace);
+    bench::ScenarioTiming timing = bench::FromReports(
+        "e2e_step", timer.Seconds(), {run.base, run.clover});
+    timing.notes = "BASE + CLOVER over the step-trace scenario fixture (" +
+                   timing.notes + ")";
+    suite.scenarios.push_back(timing);
+  }
+#endif
+
+  std::filesystem::create_directories(flags.out_dir);
+  const std::string json_path =
+      flags.out_dir + "/BENCH_" + flags.suite + ".json";
+  bench::WriteBenchJson(suite, json_path);
+  bench::PrintSuiteTable(suite);
+  std::cout << "\nwrote " << json_path << "\n";
+
+  bool deterministic = true;
+  for (const bench::ScenarioTiming& scenario : suite.scenarios)
+    deterministic = deterministic && scenario.deterministic;
+  if (!deterministic) {
+    std::cerr << "FAIL: parallel run was not bit-identical to serial\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,10 +1,16 @@
 // Fig. 9: Clover vs BASE over the 48 h US CISO March trace, per application
 // and overall — accuracy loss, carbon reduction, and SLA (p95) latency
 // normalized to BASE.
+//
+// Timing goes through bench/timing.h (the bench_runner utilities): the
+// human footer and the BENCH_fig09.json dropped into --out are computed
+// from the same WallTimer/FromReports numbers, so smoke-test output and
+// machine-readable baselines always agree.
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "timing.h"
 
 int main(int argc, char** argv) {
   using namespace clover;
@@ -14,6 +20,7 @@ int main(int argc, char** argv) {
 
   const carbon::CarbonTrace trace =
       bench::EvalTrace(carbon::TraceProfile::kCisoMarch, flags);
+  bench::WallTimer timer;
 
   std::vector<core::ExperimentConfig> configs;
   for (models::Application app :
@@ -59,6 +66,19 @@ int main(int argc, char** argv) {
                 TextTable::Num(save_sum / 3.0, 1),
                 TextTable::Num(sla_sum / 3.0, 2), "-"});
   table.Print(std::cout);
+
+  // Shared timing: one scenario row over all six runs, emitted both as the
+  // perf footer and as machine-readable JSON next to the CSV dumps.
+  bench::SuiteTiming suite;
+  suite.suite = "fig09";
+  suite.threads = 2;  // bench::RunAll's default worker parallelism
+  suite.seed = flags.seed;
+  suite.scenarios.push_back(
+      bench::FromReports("fig09_clover_vs_base", timer.Seconds(), reports));
+  bench::WriteBenchJson(suite, bench::OutPath(flags, "BENCH_fig09.json"));
+  std::cout << "\n";
+  bench::PrintSuiteTable(suite);
+
   std::cout << "\npaper: >75% carbon reduction per application with 2-4% "
                "accuracy loss (80% / 3% overall); p95 <= BASE.\n"
                "(The paper's accuracy axis is consistent with absolute "

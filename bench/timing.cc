@@ -1,0 +1,116 @@
+#include "timing.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/table.h"
+
+namespace clover::bench {
+
+ScenarioTiming FromReports(const std::string& name, double wall_seconds,
+                           const std::vector<core::RunReport>& reports) {
+  ScenarioTiming timing;
+  timing.name = name;
+  timing.wall_seconds = wall_seconds;
+  double slowest_run_s = 0.0;
+  for (const core::RunReport& report : reports) {
+    timing.events += report.sim_events;
+    timing.sim_p50_ms = std::max(timing.sim_p50_ms, report.overall_p50_ms);
+    timing.sim_p99_ms = std::max(timing.sim_p99_ms, report.overall_p99_ms);
+    slowest_run_s = std::max(slowest_run_s, report.wall_seconds);
+    for (const core::OptimizationRun& run : report.optimizations)
+      timing.candidates += run.search.evaluations.size();
+  }
+  timing.notes = std::to_string(reports.size()) + " runs, slowest " +
+                 TextTable::Num(slowest_run_s, 3) + " s";
+  if (wall_seconds > 0.0) {
+    timing.events_per_sec =
+        static_cast<double>(timing.events) / wall_seconds;
+    timing.candidates_per_sec =
+        static_cast<double>(timing.candidates) / wall_seconds;
+  }
+  return timing;
+}
+
+void WriteBenchJson(const SuiteTiming& suite, const std::string& path) {
+  std::ofstream out(path);
+  CLOVER_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const int host_cores =
+      suite.host_cores > 0
+          ? suite.host_cores
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("schema");
+  json.String("clover-bench-v1");
+  json.Key("suite");
+  json.String(suite.suite);
+  json.Key("threads");
+  json.Int(suite.threads);
+  json.Key("host_cores");
+  json.Int(host_cores);
+  json.Key("seed");
+  json.UInt(suite.seed);
+  json.Key("build");
+#ifdef NDEBUG
+  json.String("release");
+#else
+  json.String("debug");
+#endif
+  json.Key("scenarios");
+  json.BeginArray();
+  for (const ScenarioTiming& scenario : suite.scenarios) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(scenario.name);
+    json.Key("wall_seconds");
+    json.Number(scenario.wall_seconds);
+    json.Key("events");
+    json.UInt(scenario.events);
+    json.Key("events_per_sec");
+    json.Number(scenario.events_per_sec);
+    json.Key("candidates");
+    json.UInt(scenario.candidates);
+    json.Key("candidates_per_sec");
+    json.Number(scenario.candidates_per_sec);
+    json.Key("sim_p50_ms");
+    json.Number(scenario.sim_p50_ms);
+    json.Key("sim_p99_ms");
+    json.Number(scenario.sim_p99_ms);
+    json.Key("speedup_vs_serial");
+    json.Number(scenario.speedup_vs_serial);
+    json.Key("deterministic");
+    json.Bool(scenario.deterministic);
+    json.Key("notes");
+    json.String(scenario.notes);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  out << "\n";
+  CLOVER_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+void PrintSuiteTable(const SuiteTiming& suite) {
+  TextTable table({"scenario", "wall (s)", "events/s", "cand/s", "p50 (ms)",
+                   "p99 (ms)", "speedup", "det"});
+  for (const ScenarioTiming& scenario : suite.scenarios) {
+    table.AddRow(
+        {scenario.name, TextTable::Num(scenario.wall_seconds, 3),
+         TextTable::Num(scenario.events_per_sec, 0),
+         TextTable::Num(scenario.candidates_per_sec, 1),
+         TextTable::Num(scenario.sim_p50_ms, 2),
+         TextTable::Num(scenario.sim_p99_ms, 2),
+         scenario.speedup_vs_serial > 0.0
+             ? TextTable::Num(scenario.speedup_vs_serial, 2)
+             : std::string("-"),
+         scenario.deterministic ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace clover::bench

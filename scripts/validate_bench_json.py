@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the clover-bench-v1 schema.
+
+Usage: validate_bench_json.py FILE [FILE...]
+
+Exits nonzero (with a message per problem) when a file is malformed —
+unparsable JSON, wrong schema tag, missing/of-the-wrong-type fields, or
+physically impossible values (negative wall time, empty suite). It does
+NOT judge regressions: thresholds are a later PR's business; this gate
+only guarantees the artifact every CI run uploads is machine-readable.
+
+Stdlib only (json, sys) — no pip dependencies.
+"""
+
+import json
+import sys
+
+SCENARIO_FIELDS = {
+    "name": str,
+    "wall_seconds": (int, float),
+    "events": int,
+    "events_per_sec": (int, float),
+    "candidates": int,
+    "candidates_per_sec": (int, float),
+    "sim_p50_ms": (int, float),
+    "sim_p99_ms": (int, float),
+    "speedup_vs_serial": (int, float),
+    "deterministic": bool,
+    "notes": str,
+}
+
+# The JSON writer encodes non-finite doubles as null (src/common/json.cc),
+# so null is legal for the floating-point metrics and nothing else.
+NULLABLE_FIELDS = {
+    field
+    for field, expected in SCENARIO_FIELDS.items()
+    if expected == (int, float)
+}
+
+TOP_FIELDS = {
+    "schema": str,
+    "suite": str,
+    "threads": int,
+    "host_cores": int,
+    "seed": int,
+    "build": str,
+    "scenarios": list,
+}
+
+
+def validate(path):
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable or unparsable: {error}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+
+    for field, expected in TOP_FIELDS.items():
+        if field not in doc:
+            problems.append(f"{path}: missing top-level field '{field}'")
+        elif not isinstance(doc[field], expected) or (
+            # bool is an int subclass in Python; no top-level field is bool.
+            isinstance(doc[field], bool)
+        ):
+            problems.append(
+                f"{path}: field '{field}' has type "
+                f"{type(doc[field]).__name__}, expected {expected}"
+            )
+    if problems:
+        return problems
+
+    if doc["schema"] != "clover-bench-v1":
+        problems.append(f"{path}: unknown schema '{doc['schema']}'")
+    if doc["threads"] < 1:
+        problems.append(f"{path}: threads must be >= 1, got {doc['threads']}")
+    if doc["host_cores"] < 1:
+        problems.append(
+            f"{path}: host_cores must be >= 1, got {doc['host_cores']}"
+        )
+    if not doc["scenarios"]:
+        problems.append(f"{path}: empty scenario list")
+
+    for i, scenario in enumerate(doc["scenarios"]):
+        where = f"{path}: scenarios[{i}]"
+        if not isinstance(scenario, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field, expected in SCENARIO_FIELDS.items():
+            if field not in scenario:
+                problems.append(f"{where}: missing field '{field}'")
+            elif scenario[field] is None:
+                if field not in NULLABLE_FIELDS:
+                    problems.append(f"{where}: field '{field}' is null")
+            elif not isinstance(scenario[field], expected):
+                # bool is an int subclass in Python; keep them distinct.
+                problems.append(
+                    f"{where}: field '{field}' has type "
+                    f"{type(scenario[field]).__name__}"
+                )
+            elif field != "deterministic" and isinstance(scenario[field], bool):
+                problems.append(f"{where}: field '{field}' is a bool")
+        if isinstance(scenario.get("wall_seconds"), (int, float)) and (
+            scenario["wall_seconds"] is not None and scenario["wall_seconds"] < 0
+        ):
+            problems.append(f"{where}: negative wall_seconds")
+        if isinstance(scenario.get("name"), str) and not scenario["name"]:
+            problems.append(f"{where}: empty name")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_problems = []
+    for path in argv[1:]:
+        all_problems.extend(validate(path))
+    for problem in all_problems:
+        print(f"FAIL {problem}", file=sys.stderr)
+    if not all_problems:
+        for path in argv[1:]:
+            print(f"ok {path}")
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

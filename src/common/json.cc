@@ -1,0 +1,131 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace clover {
+
+JsonWriter::JsonWriter(std::ostream* out) : out_(out) {
+  CLOVER_CHECK(out_ != nullptr);
+}
+
+JsonWriter::~JsonWriter() { CLOVER_DCHECK(stack_.empty() && !key_pending_); }
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;  // top-level value
+  Frame& frame = stack_.back();
+  if (frame.container == Container::kObject) {
+    CLOVER_CHECK_MSG(key_pending_, "object value without a preceding Key()");
+    key_pending_ = false;
+  } else {
+    if (frame.entries > 0) *out_ << ',';
+  }
+  ++frame.entries;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  stack_.push_back({Container::kObject, 0});
+  *out_ << '{';
+}
+
+void JsonWriter::EndObject() {
+  CLOVER_CHECK(!stack_.empty() &&
+               stack_.back().container == Container::kObject && !key_pending_);
+  stack_.pop_back();
+  *out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  stack_.push_back({Container::kArray, 0});
+  *out_ << '[';
+}
+
+void JsonWriter::EndArray() {
+  CLOVER_CHECK(!stack_.empty() && stack_.back().container == Container::kArray);
+  stack_.pop_back();
+  *out_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  CLOVER_CHECK(!stack_.empty() &&
+               stack_.back().container == Container::kObject && !key_pending_);
+  if (stack_.back().entries > 0) *out_ << ',';
+  *out_ << '"';
+  WriteEscaped(key);
+  *out_ << "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  *out_ << '"';
+  WriteEscaped(value);
+  *out_ << '"';
+}
+
+void JsonWriter::Number(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    *out_ << "null";
+    return;
+  }
+  // std::to_chars: shortest round-trip representation, locale-independent
+  // (ostream formatting under a non-C global locale would emit "0,5" —
+  // invalid JSON) and allocation-free.
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  CLOVER_DCHECK(ec == std::errc());
+  out_->write(buffer, end - buffer);
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  char buffer[24];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  CLOVER_DCHECK(ec == std::errc());
+  out_->write(buffer, end - buffer);
+}
+
+void JsonWriter::UInt(std::uint64_t value) {
+  BeforeValue();
+  char buffer[24];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  CLOVER_DCHECK(ec == std::errc());
+  out_->write(buffer, end - buffer);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  *out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  *out_ << "null";
+}
+
+void JsonWriter::WriteEscaped(std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': *out_ << "\\\""; break;
+      case '\\': *out_ << "\\\\"; break;
+      case '\n': *out_ << "\\n"; break;
+      case '\r': *out_ << "\\r"; break;
+      case '\t': *out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          const auto byte = static_cast<unsigned char>(c);
+          *out_ << "\\u00" << kHex[byte >> 4] << kHex[byte & 0xF];
+        } else {
+          *out_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace clover

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer for machine-readable outputs
+// (bench/BENCH_*.json perf baselines; anything else that needs to be parsed
+// by scripts rather than humans).
+//
+// The writer emits syntactically valid JSON by construction: it tracks the
+// open container stack and inserts separators itself; Key() is only legal
+// inside an object, values only at a value position. Numbers are written
+// with std::to_chars — shortest representation that parses back
+// bit-exactly, and immune to the global locale (ostream formatting under
+// a non-C locale would emit decimal commas / digit grouping, i.e. invalid
+// JSON); non-finite doubles (the simulator uses +inf for "no requests
+// served") are emitted as `null`, which keeps the document
+// standard-compliant.
+//
+// Thread-safety: none — one writer per stream per thread.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace clover {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out);
+
+  // The destructor checks (debug builds) that every container was closed.
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object member key; must be followed by exactly one value or container.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Number(double value);  // non-finite -> null
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  void Bool(bool value);
+  void Null();
+
+ private:
+  enum class Container : std::uint8_t { kObject, kArray };
+
+  void BeforeValue();   // separator bookkeeping for a value slot
+  void WriteEscaped(std::string_view text);
+
+  std::ostream* out_;
+  struct Frame {
+    Container container;
+    int entries = 0;
+  };
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace clover

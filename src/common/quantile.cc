@@ -157,15 +157,15 @@ void LogHistogramQuantile::Reset() {
 double P2Quantile::Value() const {
   if (count_ == 0) return 0.0;
   if (!markers_ready_) {
-    // Exact nearest-rank over the buffer.
-    std::vector<double> copy = buffer_;
-    std::sort(copy.begin(), copy.end());
-    const std::size_t n = copy.size();
+    // Exact nearest-rank over the buffer, sorted in place (no per-query
+    // allocation; ordering does not matter to later Adds or marker init).
+    std::sort(buffer_.begin(), buffer_.end());
+    const std::size_t n = buffer_.size();
     std::size_t rank =
         static_cast<std::size_t>(std::ceil(quantile_ * static_cast<double>(n)));
     if (rank == 0) rank = 1;
     if (rank > n) rank = n;
-    return copy[rank - 1];
+    return buffer_[rank - 1];
   }
   return heights_[2];
 }

@@ -15,6 +15,16 @@
 // its bin width everywhere.
 //
 // ExactQuantile keeps all samples and is used by tests as the ground truth.
+//
+// Allocation behaviour (the simulator calls Add once per completion, so
+// this is a hot path): P2Quantile and LogHistogramQuantile never allocate
+// after construction — the P² exact-mode buffer is reserved up front and
+// queries sort it in place instead of copying. ExactQuantile grows its
+// sample vector; Reserve() amortizes that for callers that know their
+// request volume (serving/runtime.cc).
+//
+// Thread-safety: none of these estimators synchronize; each accumulator is
+// owned by exactly one simulator or runtime and protected by its owner.
 #pragma once
 
 #include <array>
@@ -29,6 +39,9 @@ class ExactQuantile {
  public:
   void Add(double x) { samples_.push_back(x); }
   std::size_t count() const { return samples_.size(); }
+
+  // Pre-sizes the sample vector (Add never reallocates until `capacity`).
+  void Reserve(std::size_t capacity) { samples_.reserve(capacity); }
 
   // Quantile q in [0,1] using the nearest-rank method (ceil(q*n)-th order
   // statistic), the same definition the P² fallback uses. Returns 0 when
@@ -64,7 +77,10 @@ class P2Quantile {
 
   double quantile_;
   std::size_t count_ = 0;
-  std::vector<double> buffer_;         // used while count_ <= threshold
+  // Used while count_ <= threshold. Mutable: Value() sorts it in place
+  // (insertion order is irrelevant to both Value and InitializeMarkers)
+  // instead of allocating a copy per query.
+  mutable std::vector<double> buffer_;
   bool markers_ready_ = false;
   std::array<double, 5> heights_{};    // marker heights q_i
   std::array<double, 5> positions_{};  // marker positions n_i

@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace clover {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CLOVER_CHECK_MSG(!stopping_, "Submit after ThreadPool shutdown began");
+    tasks_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and fully drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n,
+    const std::function<void(int slot, std::size_t index)>& body) {
+  if (n == 0) return;
+  const int slots = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads()), n));
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<std::future<void>> runners;
+  runners.reserve(static_cast<std::size_t>(slots));
+  for (int slot = 0; slot < slots; ++slot) {
+    runners.push_back(Submit([&, slot] {
+      for (;;) {
+        const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= n) return;
+        try {
+          body(slot, index);
+        } catch (...) {
+          errors[index] = std::current_exception();
+        }
+      }
+    }));
+  }
+  for (std::future<void>& runner : runners) runner.get();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace clover

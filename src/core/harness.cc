@@ -1,5 +1,6 @@
 #include "core/harness.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
@@ -86,6 +87,7 @@ Oracle& ExperimentHarness::OracleFor(models::Application app, int num_gpus,
 
 RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
   CLOVER_CHECK(config.trace != nullptr);
+  const auto wall_start = std::chrono::steady_clock::now();
   const BaselineCalibration& calibration =
       Calibrate(config.app, config.sizing_gpus, config.utilization_target,
                 config.arrival_rate_qps, config.seed);
@@ -171,7 +173,10 @@ RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
   report.total_energy_j = sim.total_energy_j();
   report.total_carbon_g = sim.total_carbon_g();
   report.weighted_accuracy = sim.OverallWeightedAccuracy();
+  report.overall_p50_ms = sim.OverallQuantileMs(0.50);
   report.overall_p95_ms = sim.OverallP95Ms();
+  report.overall_p99_ms = sim.OverallQuantileMs(0.99);
+  report.sim_events = sim.total_arrivals() + sim.total_completions();
   report.carbon_per_request_g =
       report.completions
           ? report.total_carbon_g / static_cast<double>(report.completions)
@@ -194,6 +199,10 @@ RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
     report.optimization_seconds = controller->total_optimization_seconds();
     report.cache_hits = controller->cache_hits();
   }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return report;
 }
 

@@ -59,8 +59,18 @@ struct RunReport {
   double total_energy_j = 0.0;
   double total_carbon_g = 0.0;
   double weighted_accuracy = 0.0;
+  double overall_p50_ms = 0.0;
   double overall_p95_ms = 0.0;
+  double overall_p99_ms = 0.0;
   double carbon_per_request_g = 0.0;
+  // Host wall-clock time the harness spent on this run (simulation +
+  // optimization). Per-run metadata: bench scenarios time their *scenario*
+  // span with bench::WallTimer (runs may execute concurrently, so per-run
+  // walls do not sum to scenario wall); bench/timing.h surfaces the
+  // slowest run's wall in the scenario notes.
+  double wall_seconds = 0.0;
+  // Simulated events processed (arrivals + completions), for events/sec.
+  std::uint64_t sim_events = 0;
 
   // Per-window series (5-minute windows).
   std::vector<sim::WindowRecord> windows;

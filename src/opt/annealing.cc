@@ -60,6 +60,35 @@ struct BestTracker {
 
 }  // namespace
 
+bool SearchResultsBitIdentical(const SearchResult& a, const SearchResult& b) {
+  if (a.evaluations.size() != b.evaluations.size()) return false;
+  if (a.best_f != b.best_f || a.best_sla_ok != b.best_sla_ok) return false;
+  if (!(a.best == b.best)) return false;
+  if (a.best_metrics.accuracy != b.best_metrics.accuracy ||
+      a.best_metrics.energy_per_request_j !=
+          b.best_metrics.energy_per_request_j ||
+      a.best_metrics.p95_ms != b.best_metrics.p95_ms)
+    return false;
+  if (a.elapsed_seconds != b.elapsed_seconds) return false;
+  if (a.cache_hits != b.cache_hits) return false;
+  for (std::size_t i = 0; i < a.evaluations.size(); ++i) {
+    const EvalRecord& ra = a.evaluations[i];
+    const EvalRecord& rb = b.evaluations[i];
+    if (ra.order != rb.order || ra.f != rb.f || ra.sla_ok != rb.sla_ok ||
+        ra.from_cache != rb.from_cache)
+      return false;
+    if (ra.delta_carbon_pct != rb.delta_carbon_pct ||
+        ra.delta_accuracy_pct != rb.delta_accuracy_pct)
+      return false;
+    if (ra.metrics.accuracy != rb.metrics.accuracy ||
+        ra.metrics.energy_per_request_j != rb.metrics.energy_per_request_j ||
+        ra.metrics.p95_ms != rb.metrics.p95_ms)
+      return false;
+    if (!(ra.graph == rb.graph)) return false;
+  }
+  return true;
+}
+
 SimulatedAnnealing::SimulatedAnnealing(Evaluator* evaluator,
                                        graph::NeighborSampler* sampler,
                                        const Options& options,
@@ -69,6 +98,12 @@ SimulatedAnnealing::SimulatedAnnealing(Evaluator* evaluator,
       options_(options),
       accept_rng_(seed, "sa-acceptance") {
   CLOVER_CHECK(evaluator_ != nullptr && sampler_ != nullptr);
+  CLOVER_CHECK(options_.batch_size >= 1);
+}
+
+void SimulatedAnnealing::SetBatchEvaluator(BatchEvaluator* batch) {
+  CLOVER_CHECK(batch != nullptr);
+  batch_ = batch;
 }
 
 SearchResult SimulatedAnnealing::Run(const graph::ConfigGraph& start,
@@ -85,14 +120,14 @@ SearchResult SimulatedAnnealing::Run(
   BestTracker tracker;
 
   int order = 0;
-  // Evaluate every seed (the incumbent deployment first — measuring it is
-  // cheap since no reconfiguration is needed — then any blind probes); the
-  // lowest-energy seed becomes the annealing center.
   graph::ConfigGraph center = seeds.front();
   double center_h = 0.0;
   bool have_center = false;
-  for (const graph::ConfigGraph& seed : seeds) {
-    EvalOutcome outcome = evaluator_->Evaluate(seed);
+
+  // Serial fold of one evaluated seed: accounting, best-tracking and
+  // center selection. Returns false once the time budget is exhausted.
+  auto fold_seed = [&](const graph::ConfigGraph& seed,
+                       const EvalOutcome& outcome) {
     result.elapsed_seconds += outcome.cost_seconds;
     if (outcome.from_cache) ++result.cache_hits;
     EvalRecord record = MakeRecord(seed, outcome, params, ci, order++);
@@ -106,26 +141,43 @@ SearchResult SimulatedAnnealing::Run(
       center_h = h;
       have_center = true;
     }
-    if (result.elapsed_seconds >= options_.time_budget_s) break;
+    return result.elapsed_seconds < options_.time_budget_s;
+  };
+
+  // Evaluate every seed (the incumbent deployment first — measuring it is
+  // cheap since no reconfiguration is needed — then any blind probes); the
+  // lowest-energy seed becomes the annealing center. With a batch executor
+  // the seeds are one parallel batch folded in order; serially each seed is
+  // evaluated only if the budget survived the previous one (the shared
+  // online evaluator must not be touched past the budget).
+  if (batch_ != nullptr) {
+    const std::vector<EvalOutcome> outcomes = batch_->EvaluateBatch(seeds);
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+      if (!fold_seed(seeds[i], outcomes[i])) break;
+  } else {
+    for (const graph::ConfigGraph& seed : seeds)
+      if (!fold_seed(seed, evaluator_->Evaluate(seed))) break;
   }
 
   double temperature = options_.t0;
   int consecutive_no_improve = 0;
+  auto stopped = [&] {
+    return result.elapsed_seconds >= options_.time_budget_s ||
+           consecutive_no_improve >= options_.no_improve_limit ||
+           order >= options_.max_evaluations;
+  };
 
-  while (result.elapsed_seconds < options_.time_budget_s &&
-         consecutive_no_improve < options_.no_improve_limit &&
-         order < options_.max_evaluations) {
-    const auto candidate = sampler_->Sample(center);
-    if (!candidate.has_value()) break;  // neighborhood exhausted
-
-    EvalOutcome outcome = evaluator_->Evaluate(*candidate);
+  // Serial fold of one evaluated proposal: record, best-tracking, the
+  // acceptance chain against the evolving center, and one cooling step.
+  auto fold_proposal = [&](const graph::ConfigGraph& candidate,
+                           const EvalOutcome& outcome) {
     result.elapsed_seconds += outcome.cost_seconds;
     if (outcome.from_cache) ++result.cache_hits;
-    EvalRecord record = MakeRecord(*candidate, outcome, params, ci, order++);
+    EvalRecord record = MakeRecord(candidate, outcome, params, ci, order++);
     result.evaluations.push_back(record);
 
     const bool improved =
-        tracker.Offer(*candidate, outcome.metrics, record.f, outcome.sla_ok,
+        tracker.Offer(candidate, outcome.metrics, record.f, outcome.sla_ok,
                       params.l_tail_ms);
     consecutive_no_improve = improved ? 0 : consecutive_no_improve + 1;
 
@@ -138,11 +190,39 @@ SearchResult SimulatedAnnealing::Run(
       accept = accept_rng_.NextDouble() < probability;
     }
     if (accept) {
-      center = *candidate;
+      center = candidate;
       center_h = candidate_h;
     }
     temperature = std::max(options_.t_min,
                            temperature - options_.cooling_step);
+  };
+
+  SerialBatchEvaluator serial(evaluator_);
+  BatchEvaluator* batch = batch_ != nullptr ? batch_ : &serial;
+  const int batch_size = batch_ != nullptr ? options_.batch_size : 1;
+
+  std::vector<graph::ConfigGraph> proposals;
+  proposals.reserve(static_cast<std::size_t>(batch_size));
+  while (!stopped()) {
+    // One speculative round: up to batch_size proposals drawn sequentially
+    // from the round's starting center. A mid-round Sample failure only
+    // shortens this round — the fold may accept a new center whose
+    // neighborhood is samplable again, so the next round retries from it;
+    // the search ends only when a round opens with zero proposals (the
+    // current center's neighborhood is exhausted, matching the legacy
+    // serial termination).
+    const int round = std::min(batch_size, options_.max_evaluations - order);
+    proposals.clear();
+    for (int i = 0; i < round; ++i) {
+      auto candidate = sampler_->Sample(center);
+      if (!candidate.has_value()) break;
+      proposals.push_back(std::move(*candidate));
+    }
+    if (proposals.empty()) break;  // neighborhood exhausted
+
+    const std::vector<EvalOutcome> outcomes = batch->EvaluateBatch(proposals);
+    for (std::size_t i = 0; i < proposals.size() && !stopped(); ++i)
+      fold_proposal(proposals[i], outcomes[i]);
   }
 
   CLOVER_CHECK(tracker.has_any);

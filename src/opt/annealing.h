@@ -14,6 +14,28 @@
 // violating configuration is tracked as a fallback (the paper's invocation
 // I "settles with the only SLA-compliant configuration it has found" —
 // compliance is required before anything else).
+//
+// Execution model (batch-synchronous speculative annealing). With a
+// BatchEvaluator installed and Options::batch_size = B, each round draws B
+// proposals sequentially from the round's starting center, evaluates the
+// whole batch (possibly in parallel), then folds outcomes IN PROPOSAL
+// ORDER: record, best-tracking, the acceptance test against the *evolving*
+// center energy, and the per-evaluation cooling step all happen in the
+// fold. Proposals later in a round are therefore speculative — they were
+// drawn from the round's starting center even if an earlier proposal was
+// accepted mid-fold — which is the standard speculative trade: batch_size
+// widens the proposal front in exchange for parallel evaluation. The
+// documented serial semantics:
+//   * batch_size == 1 reproduces the legacy one-at-a-time annealer
+//     bit-for-bit (sampling, acceptance RNG draws, cooling — everything);
+//   * for fixed (options, seed), results are bit-identical across thread
+//     counts of a pure parallel evaluator (sampling, acceptance draws and
+//     folding are all serial; see evaluator.h);
+//   * outcomes past a mid-fold termination are discarded, never accounted.
+//
+// Thread-safety: a SimulatedAnnealing instance is a single-threaded
+// driver; all concurrency lives behind the BatchEvaluator. Run must not be
+// called concurrently on one instance.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +73,13 @@ struct SearchResult {
   SearchResult() : best(models::Application::kClassification, 1) {}
 };
 
+// True iff two results agree bit-for-bit in every reported field (best,
+// every evaluation record, accounting counters). This is the single
+// definition of the parallel-execution determinism contract — the unit
+// tests (tests/opt_parallel_test.cc) and the CI gate (bench/bench_runner)
+// both check against it, so they cannot drift apart.
+bool SearchResultsBitIdentical(const SearchResult& a, const SearchResult& b);
+
 class SimulatedAnnealing {
  public:
   struct Options {
@@ -60,10 +89,19 @@ class SimulatedAnnealing {
     int no_improve_limit = 5;
     double time_budget_s = 300.0;  // the paper's 5-minute cap
     int max_evaluations = 1000;    // hard safety stop
+    // Proposals per speculative round (file comment). 1 = legacy serial
+    // schedule; only takes effect once SetBatchEvaluator installed a batch
+    // executor. Keep modest (~2x the evaluator's thread count): every
+    // accepted proposal invalidates the rest of its round's centering.
+    int batch_size = 1;
   };
 
   SimulatedAnnealing(Evaluator* evaluator, graph::NeighborSampler* sampler,
                      const Options& options, std::uint64_t seed);
+
+  // Routes proposal batches through `batch` (borrowed; must outlive the
+  // annealer). Determinism contract: see the file comment.
+  void SetBatchEvaluator(BatchEvaluator* batch);
 
   // Runs one optimization invocation from `start` at carbon intensity `ci`.
   SearchResult Run(const graph::ConfigGraph& start,
@@ -79,6 +117,7 @@ class SimulatedAnnealing {
   graph::NeighborSampler* sampler_;
   Options options_;
   RngStream accept_rng_;
+  BatchEvaluator* batch_ = nullptr;  // nullptr: serial via evaluator_
 };
 
 }  // namespace clover::opt

@@ -16,6 +16,12 @@ RandomSearch::RandomSearch(Evaluator* evaluator, graph::GraphMapper* mapper,
       options_(options),
       rng_(seed, "blover-random-search") {
   CLOVER_CHECK(evaluator_ != nullptr && mapper_ != nullptr);
+  CLOVER_CHECK(options_.batch_size >= 1);
+}
+
+void RandomSearch::SetBatchEvaluator(BatchEvaluator* batch) {
+  CLOVER_CHECK(batch != nullptr);
+  batch_ = batch;
 }
 
 graph::ConfigGraph RandomSearch::SampleConfiguration(models::Application app) {
@@ -59,8 +65,11 @@ SearchResult RandomSearch::Run(const graph::ConfigGraph& start,
     return better;
   };
 
-  auto evaluate = [&](const graph::ConfigGraph& graph, int order) {
-    EvalOutcome outcome = evaluator_->Evaluate(graph);
+  // Serial fold of one evaluated candidate: records it, accounts its cost,
+  // and updates the incumbent. All termination state advances here, never
+  // inside the (possibly parallel) batch evaluation.
+  auto fold = [&](const graph::ConfigGraph& graph, const EvalOutcome& outcome,
+                  int order) {
     result.elapsed_seconds += outcome.cost_seconds;
     if (outcome.from_cache) ++result.cache_hits;
     EvalRecord record;
@@ -76,16 +85,38 @@ SearchResult RandomSearch::Run(const graph::ConfigGraph& start,
     return consider(graph, outcome, record);
   };
 
+  SerialBatchEvaluator serial(evaluator_);
+  BatchEvaluator* batch = batch_ != nullptr ? batch_ : &serial;
+  const int batch_size = batch_ != nullptr ? options_.batch_size : 1;
+
   int order = 0;
-  evaluate(start, order++);
+  {
+    const std::vector<graph::ConfigGraph> first{start};
+    fold(start, batch->EvaluateBatch(first)[0], order++);
+  }
 
   int consecutive_no_improve = 0;
-  while (result.elapsed_seconds < options_.time_budget_s &&
-         consecutive_no_improve < options_.no_improve_limit &&
-         order < options_.max_evaluations) {
-    const graph::ConfigGraph candidate = SampleConfiguration(start.app());
-    const bool improved = evaluate(candidate, order++);
-    consecutive_no_improve = improved ? 0 : consecutive_no_improve + 1;
+  auto stopped = [&] {
+    return result.elapsed_seconds >= options_.time_budget_s ||
+           consecutive_no_improve >= options_.no_improve_limit ||
+           order >= options_.max_evaluations;
+  };
+
+  std::vector<graph::ConfigGraph> candidates;
+  candidates.reserve(static_cast<std::size_t>(batch_size));
+  while (!stopped()) {
+    const int round =
+        std::min(batch_size, options_.max_evaluations - order);
+    candidates.clear();
+    for (int i = 0; i < round; ++i)
+      candidates.push_back(SampleConfiguration(start.app()));
+    const std::vector<EvalOutcome> outcomes = batch->EvaluateBatch(candidates);
+    for (int i = 0; i < round && !stopped(); ++i) {
+      const bool improved = fold(candidates[static_cast<std::size_t>(i)],
+                                 outcomes[static_cast<std::size_t>(i)],
+                                 order++);
+      consecutive_no_improve = improved ? 0 : consecutive_no_improve + 1;
+    }
   }
   return result;
 }

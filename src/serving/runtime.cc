@@ -35,6 +35,10 @@ InferenceRuntime::~InferenceRuntime() { Drain(); }
 void InferenceRuntime::Start() {
   CLOVER_CHECK_MSG(!started_, "runtime already started");
   started_ = true;
+  // Pre-size the latency sample store so the completion path (which runs
+  // under mutex_) does not reallocate for the first queue_capacity
+  // requests; later growth is amortized geometric.
+  latencies_ms_.Reserve(options_.queue_capacity);
   dispatcher_ = std::thread(&InferenceRuntime::DispatcherLoop, this);
   workers_.reserve(instances_.size());
   for (std::size_t i = 0; i < instances_.size(); ++i)
@@ -126,13 +130,16 @@ void InferenceRuntime::WorkerLoop(std::size_t instance_index) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(scaled_ms));
     const auto now = std::chrono::steady_clock::now();
+    // Latency math happens outside the lock; only the shared accumulators
+    // are touched under it.
+    const double sim_ms =
+        std::chrono::duration<double, std::milli>(now - request.enqueue_time)
+            .count() /
+        options_.time_scale;
 
     lock.lock();
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(now - request.enqueue_time)
-            .count();
-    latencies_ms_.Add(wall_ms / options_.time_scale);
-    latency_sum_ms_ += wall_ms / options_.time_scale;
+    latencies_ms_.Add(sim_ms);
+    latency_sum_ms_ += sim_ms;
     accuracy_weighted_sum_ += instance.accuracy;
     ++instance.served;
     ++completed_;
@@ -159,6 +166,7 @@ InferenceRuntime::Stats InferenceRuntime::SnapshotStats() const {
   stats.weighted_accuracy =
       completed_ > 0 ? accuracy_weighted_sum_ / static_cast<double>(completed_)
                      : 0.0;
+  stats.served_per_instance.reserve(instances_.size());
   for (const Instance& instance : instances_)
     stats.served_per_instance.push_back(instance.served);
   return stats;

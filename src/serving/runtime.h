@@ -11,6 +11,12 @@
 // The discrete-event simulator (sim/cluster_sim.h) is the tool for
 // evaluation runs; this runtime exists to exercise the concurrency
 // architecture end-to-end (tests + examples/serving_runtime_demo).
+//
+// Per-request state is pooled: the dispatcher hands work to workers through
+// pre-sized per-worker assignment slots (no allocation per dispatch), and
+// the latency sample store is reserved at Start() so the completion path —
+// the only code that runs under the runtime mutex per request — never
+// reallocates in steady state.
 #pragma once
 
 #include <condition_variable>

@@ -26,6 +26,10 @@ ClusterSim::ClusterSim(serving::Deployment initial,
       accountant_(trace, options.pue) {
   deployment_.Validate(zoo);
   CLOVER_CHECK(options_.window_seconds > 0.0);
+  // One completion event per busy instance plus a few wake events is the
+  // queue's whole steady-state population; reserving once here keeps the
+  // event loop allocation-free.
+  events_.Reserve(kMaxInstances + 8);
   BuildInstances(deployment_,
                  std::vector<double>(
                      static_cast<std::size_t>(deployment_.NumGpus()), 0.0));

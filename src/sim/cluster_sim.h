@@ -91,6 +91,11 @@ class ClusterSim {
   double total_energy_j() const { return accountant_.total_it_joules(); }
   double total_carbon_g() const { return accountant_.total_grams(); }
   double OverallP95Ms() const { return overall_latency_.Quantile(0.95); }
+  // Any run-level latency quantile (q in [0,1]); the bench harness reports
+  // p50/p99 alongside the SLA-relevant p95.
+  double OverallQuantileMs(double q) const {
+    return overall_latency_.Quantile(q);
+  }
   double OverallWeightedAccuracy() const {
     return total_completions_
                ? total_accuracy_sum_ / static_cast<double>(total_completions_)

@@ -1,47 +1,3 @@
+// event_queue.h is header-only (the heap operations are inlined into the
+// simulator's event loop); this TU anchors the library target.
 #include "sim/event_queue.h"
-
-#include <utility>
-
-#include "common/check.h"
-
-namespace clover::sim {
-
-void EventQueue::Push(const Event& event) {
-  heap_.push_back(event);
-  SiftUp(heap_.size() - 1);
-}
-
-Event EventQueue::Pop() {
-  CLOVER_DCHECK(!heap_.empty());
-  Event top = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) SiftDown(0);
-  return top;
-}
-
-void EventQueue::SiftUp(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (heap_[parent].time <= heap_[i].time) break;
-    std::swap(heap_[parent], heap_[i]);
-    i = parent;
-  }
-}
-
-void EventQueue::SiftDown(std::size_t i) {
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = left + 1;
-    std::size_t smallest = i;
-    if (left < n && heap_[left].time < heap_[smallest].time) smallest = left;
-    if (right < n && heap_[right].time < heap_[smallest].time)
-      smallest = right;
-    if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
-  }
-}
-
-}  // namespace clover::sim

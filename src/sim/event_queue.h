@@ -5,10 +5,27 @@
 // a flat binary heap over POD events is the fastest structure at this size.
 // Arrivals are not queued: the Poisson stream is generated lazily and
 // merged with the heap head in the main loop.
+//
+// Hot-path notes: Push/Pop are fully inline (the simulator calls them once
+// per completion, tens of millions of times per wall-second) and the
+// backing vector is pooled — Reserve() pre-sizes it once per simulator
+// construction and Clear() keeps the capacity, so steady-state operation
+// never allocates.
+//
+// Thread-safety: none; each ClusterSim owns its queue and a simulator is
+// single-threaded by design (parallelism happens one level up, across
+// simulator replicas — see docs/ARCHITECTURE.md).
+//
+// Determinism: ties on `time` are broken by heap layout, which is a pure
+// function of the push/pop sequence — identical event streams produce
+// identical pop orders on every platform.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "common/check.h"
 
 namespace clover::sim {
 
@@ -22,16 +39,54 @@ inline constexpr std::int32_t kWakeEventId = -1;
 
 class EventQueue {
  public:
-  void Push(const Event& event);
+  void Push(const Event& event) {
+    heap_.push_back(event);
+    SiftUp(heap_.size() - 1);
+  }
+
   const Event& Top() const { return heap_.front(); }
-  Event Pop();
+
+  Event Pop() {
+    CLOVER_DCHECK(!heap_.empty());
+    Event top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
   bool Empty() const { return heap_.empty(); }
   std::size_t Size() const { return heap_.size(); }
-  void Clear() { heap_.clear(); }
+  void Clear() { heap_.clear(); }  // keeps capacity (pooled storage)
+
+  // Pre-sizes the backing vector so steady-state Push never reallocates.
+  void Reserve(std::size_t capacity) { heap_.reserve(capacity); }
 
  private:
-  void SiftUp(std::size_t i);
-  void SiftDown(std::size_t i);
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].time <= heap_[i].time) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && heap_[left].time < heap_[smallest].time) smallest = left;
+      if (right < n && heap_[right].time < heap_[smallest].time)
+        smallest = right;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
   std::vector<Event> heap_;
 };
 

@@ -1,4 +1,9 @@
 // Windowed and run-level metric accumulators for the cluster simulator.
+//
+// AddCompletion runs once per simulated request — it is on the simulator's
+// hot path and is allocation-free: the embedded P² estimator reserves its
+// exact-mode buffer at construction and never grows it (common/quantile.h).
+// Accumulators are owned by a single ClusterSim and are not synchronized.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,194 @@
+// Parallel optimizer determinism: for a fixed seed, random search and
+// simulated annealing driven through ParallelBatchEvaluator must produce
+// bit-identical SearchResults at 1, 2 and 8 threads (the documented
+// contract in opt/random_search.h, opt/annealing.h), and the batch_size=1
+// serial path must reproduce the legacy single-evaluator algorithm.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/neighbors.h"
+#include "models/zoo.h"
+#include "opt/evaluator.h"
+#include "opt/random_search.h"
+#include "serving/deployment.h"
+#include "sim/arrivals.h"
+
+namespace clover::opt {
+namespace {
+
+constexpr int kGpus = 2;
+constexpr std::uint64_t kSeed = 17;
+constexpr double kCi = 250.0;
+constexpr int kCandidates = 24;
+
+struct Context {
+  const models::ModelZoo* zoo;
+  carbon::CarbonTrace trace;
+  ReplayEvaluator::Options replay;
+  ObjectiveParams params;
+  graph::ConfigGraph start;
+
+  Context()
+      : zoo(&models::DefaultZoo()),
+        trace("flat", 3600.0, std::vector<double>(4, 250.0)),
+        start(models::Application::kClassification, kGpus) {
+    replay.arrival_rate_qps = sim::SizeArrivalRate(
+        *zoo, models::Application::kClassification, kGpus);
+    replay.settle_s = 1.0;
+    replay.measure_window_s = 3.0;
+    replay.seed = kSeed;
+
+    start = graph::ConfigGraph::FromDeployment(
+        serving::MakeBase(models::Application::kClassification, kGpus), *zoo);
+    // The shared calibration recipe bench_runner uses (evaluator.h).
+    replay = ReplayEvaluator::CalibrateAgainst(zoo, &trace, kGpus, start,
+                                               replay, kCi, &params);
+  }
+
+  std::vector<std::unique_ptr<Evaluator>> Replicas(int count) const {
+    std::vector<std::unique_ptr<Evaluator>> replicas;
+    for (int i = 0; i < count; ++i)
+      replicas.push_back(
+          std::make_unique<ReplayEvaluator>(zoo, &trace, kGpus, replay));
+    return replicas;
+  }
+};
+
+// Field-by-field expectations give actionable failure messages; the shared
+// predicate (the one bench_runner's CI gate uses) must agree with them.
+void ExpectIdentical(const SearchResult& a, const SearchResult& b) {
+  EXPECT_TRUE(SearchResultsBitIdentical(a, b));
+  ASSERT_EQ(a.evaluations.size(), b.evaluations.size());
+  EXPECT_EQ(a.best_f, b.best_f);
+  EXPECT_EQ(a.best_sla_ok, b.best_sla_ok);
+  EXPECT_TRUE(a.best == b.best);
+  EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  for (std::size_t i = 0; i < a.evaluations.size(); ++i) {
+    SCOPED_TRACE("evaluation " + std::to_string(i));
+    const EvalRecord& ra = a.evaluations[i];
+    const EvalRecord& rb = b.evaluations[i];
+    EXPECT_EQ(ra.order, rb.order);
+    EXPECT_EQ(ra.f, rb.f);  // exact: bit-identity, not closeness
+    EXPECT_EQ(ra.sla_ok, rb.sla_ok);
+    EXPECT_EQ(ra.metrics.accuracy, rb.metrics.accuracy);
+    EXPECT_EQ(ra.metrics.energy_per_request_j, rb.metrics.energy_per_request_j);
+    EXPECT_EQ(ra.metrics.p95_ms, rb.metrics.p95_ms);
+    EXPECT_TRUE(ra.graph == rb.graph);
+  }
+}
+
+SearchResult RunRandom(const Context& context, int threads, int batch_size) {
+  ThreadPool pool(threads);
+  ParallelBatchEvaluator batch(&pool, context.Replicas(threads));
+  ReplayEvaluator fallback(context.zoo, &context.trace, kGpus, context.replay);
+  graph::GraphMapper mapper(context.zoo, kGpus);
+  RandomSearch::Options options;
+  options.max_evaluations = kCandidates;
+  options.no_improve_limit = 1 << 30;
+  options.time_budget_s = 1e12;
+  options.batch_size = batch_size;
+  RandomSearch search(&fallback, &mapper, options, kSeed);
+  search.SetBatchEvaluator(&batch);
+  return search.Run(context.start, context.params, kCi);
+}
+
+SearchResult RunAnneal(const Context& context, int threads, int batch_size) {
+  ThreadPool pool(threads);
+  ParallelBatchEvaluator batch(&pool, context.Replicas(threads));
+  ReplayEvaluator fallback(context.zoo, &context.trace, kGpus, context.replay);
+  graph::GraphMapper mapper(context.zoo, kGpus);
+  graph::NeighborSampler sampler(&mapper, kSeed);
+  SimulatedAnnealing::Options options;
+  options.max_evaluations = kCandidates;
+  options.no_improve_limit = 1 << 30;
+  options.time_budget_s = 1e12;
+  options.batch_size = batch_size;
+  SimulatedAnnealing annealer(&fallback, &sampler, options, kSeed);
+  annealer.SetBatchEvaluator(&batch);
+  return annealer.Run(context.start, context.params, kCi);
+}
+
+TEST(OptParallelTest, ReplayEvaluatorIsPure) {
+  const Context context;
+  ReplayEvaluator a(context.zoo, &context.trace, kGpus, context.replay);
+  ReplayEvaluator b(context.zoo, &context.trace, kGpus, context.replay);
+  const EvalOutcome first = a.Evaluate(context.start);
+  const EvalOutcome again = a.Evaluate(context.start);   // same instance
+  const EvalOutcome other = b.Evaluate(context.start);   // fresh instance
+  EXPECT_EQ(first.metrics.p95_ms, again.metrics.p95_ms);
+  EXPECT_EQ(first.metrics.accuracy, again.metrics.accuracy);
+  EXPECT_EQ(first.metrics.energy_per_request_j,
+            again.metrics.energy_per_request_j);
+  EXPECT_EQ(first.metrics.p95_ms, other.metrics.p95_ms);
+  EXPECT_EQ(first.metrics.accuracy, other.metrics.accuracy);
+  EXPECT_EQ(first.metrics.energy_per_request_j,
+            other.metrics.energy_per_request_j);
+}
+
+TEST(OptParallelTest, RandomSearchBitIdenticalAcross1And2And8Threads) {
+  const Context context;
+  const SearchResult one = RunRandom(context, 1, 8);
+  const SearchResult two = RunRandom(context, 2, 8);
+  const SearchResult eight = RunRandom(context, 8, 8);
+  ASSERT_EQ(one.evaluations.size(),
+            static_cast<std::size_t>(kCandidates));
+  ExpectIdentical(one, two);
+  ExpectIdentical(one, eight);
+}
+
+TEST(OptParallelTest, AnnealingBitIdenticalAcross1And2And8Threads) {
+  const Context context;
+  const SearchResult one = RunAnneal(context, 1, 4);
+  const SearchResult two = RunAnneal(context, 2, 4);
+  const SearchResult eight = RunAnneal(context, 8, 4);
+  EXPECT_FALSE(one.evaluations.empty());
+  ExpectIdentical(one, two);
+  ExpectIdentical(one, eight);
+}
+
+// batch_size=1 through a batch evaluator must reproduce the legacy serial
+// algorithm (no batch evaluator installed) bit for bit — the "documented
+// serial order" the parallel schedule is defined against.
+TEST(OptParallelTest, BatchSizeOneMatchesLegacySerialRandomSearch) {
+  const Context context;
+
+  ReplayEvaluator serial_eval(context.zoo, &context.trace, kGpus,
+                              context.replay);
+  graph::GraphMapper serial_mapper(context.zoo, kGpus);
+  RandomSearch::Options options;
+  options.max_evaluations = kCandidates;
+  options.no_improve_limit = 1 << 30;
+  options.time_budget_s = 1e12;
+  RandomSearch legacy(&serial_eval, &serial_mapper, options, kSeed);
+  const SearchResult expected =
+      legacy.Run(context.start, context.params, kCi);
+
+  const SearchResult batched = RunRandom(context, 2, /*batch_size=*/1);
+  ExpectIdentical(expected, batched);
+}
+
+TEST(OptParallelTest, BatchSizeOneMatchesLegacySerialAnnealing) {
+  const Context context;
+
+  ReplayEvaluator serial_eval(context.zoo, &context.trace, kGpus,
+                              context.replay);
+  graph::GraphMapper serial_mapper(context.zoo, kGpus);
+  graph::NeighborSampler sampler(&serial_mapper, kSeed);
+  SimulatedAnnealing::Options options;
+  options.max_evaluations = kCandidates;
+  options.no_improve_limit = 1 << 30;
+  options.time_budget_s = 1e12;
+  SimulatedAnnealing legacy(&serial_eval, &sampler, options, kSeed);
+  const SearchResult expected =
+      legacy.Run(context.start, context.params, kCi);
+
+  const SearchResult batched = RunAnneal(context, 2, /*batch_size=*/1);
+  ExpectIdentical(expected, batched);
+}
+
+}  // namespace
+}  // namespace clover::opt

@@ -3,6 +3,12 @@
 // executed through the full pipeline — carbon trace -> controller/optimizer
 // -> cluster simulator — for both BASE and CLOVER, with shared invariant
 // checks. scenario_matrix_test.cc instantiates the matrix.
+//
+// Split across two TUs: scenario.cc holds the gtest-free fixtures and
+// execution (library clover::scenarios, also linked by bench/bench_runner
+// so perf scenarios and test scenarios are the same code);
+// scenario_checks.cc holds CheckScenarioInvariants, which needs gtest
+// (library clover::testing).
 #pragma once
 
 #include <cstdint>

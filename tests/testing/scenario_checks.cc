@@ -1,0 +1,90 @@
+// gtest-dependent half of the scenario runner: the shared invariant checks
+// (scenario.cc keeps the gtest-free fixtures/execution so non-test
+// binaries can link them).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "testing/golden.h"
+#include "testing/scenario.h"
+
+namespace clover::testing {
+namespace {
+
+// Median of the per-window p95 over the second half of the run: the
+// operating regime once CLOVER has escaped the cold-start transient
+// (mirrors the Fig. 15 reporting rule in bench/fig15_reduced_gpus.cc).
+double SteadyStateP95Ms(const core::RunReport& report) {
+  std::vector<double> tail;
+  for (std::size_t w = report.windows.size() / 2; w < report.windows.size();
+       ++w)
+    tail.push_back(report.windows[w].p95_ms);
+  std::sort(tail.begin(), tail.end());
+  return tail.empty() ? 0.0 : tail[tail.size() / 2];
+}
+
+}  // namespace
+
+void CheckScenarioInvariants(const Scenario& scenario,
+                             const ScenarioRun& run) {
+  SCOPED_TRACE("scenario: " + scenario.name);
+  const ScenarioLimits& limits = scenario.limits;
+
+  // Both schemes serve the stream; CLOVER to (near) completion, BASE too
+  // unless the scenario deliberately overloads it.
+  for (const core::RunReport* report : {&run.base, &run.clover}) {
+    EXPECT_GT(report->completions, 0u);
+    EXPECT_LE(report->completions, report->arrivals);
+    if (report == &run.clover || !limits.base_overloaded) {
+      EXPECT_GE(static_cast<double>(report->completions),
+                limits.min_completion_ratio *
+                    static_cast<double>(report->arrivals));
+    }
+    EXPECT_GT(report->total_energy_j, 0.0);
+    EXPECT_GT(report->total_carbon_g, 0.0);
+    // Per-window series aligned with the objective series, one window per
+    // control interval.
+    EXPECT_EQ(report->objective_series.size(), report->windows.size());
+    EXPECT_EQ(report->windows.size(),
+              static_cast<std::size_t>(scenario.duration_hours * 3600.0 /
+                                       scenario.control_interval_s));
+  }
+
+  // CLOVER never emits more carbon than BASE on the same stream.
+  EXPECT_TRUE(InGoldenRange("carbon_save_pct",
+                            run.clover.CarbonSavePctVs(run.base),
+                            {limits.min_carbon_save_pct, 100.0}));
+
+  // Accuracy: bounded loss, and inside the family's published range.
+  EXPECT_TRUE(InGoldenRange("accuracy_loss_pct",
+                            run.clover.AccuracyLossPctVs(run.base),
+                            {-1.0, limits.max_accuracy_loss_pct}));
+  const models::ModelFamily& family =
+      models::DefaultZoo().ForApplication(scenario.app);
+  EXPECT_GE(run.clover.weighted_accuracy, family.Smallest().accuracy);
+  EXPECT_LE(run.clover.weighted_accuracy, family.Largest().accuracy);
+
+  // SLO attainment. The SLA is calibrated on steady BASE traffic, so
+  // steady scenarios check against it directly; bursty scenarios compare
+  // against BASE on the identical modulated stream; reduced-fleet
+  // scenarios check CLOVER's steady-state regime (BASE diverges).
+  if (limits.base_overloaded) {
+    EXPECT_LE(SteadyStateP95Ms(run.clover),
+              limits.p95_slo_slack * run.clover.params.l_tail_ms);
+  } else if (scenario.burst.enabled()) {
+    EXPECT_LE(run.clover.P95NormVs(run.base), limits.p95_vs_base_limit);
+  } else {
+    EXPECT_LE(run.clover.overall_p95_ms,
+              limits.p95_slo_slack * run.clover.params.l_tail_ms);
+  }
+
+  // Threshold-mode objective: the optimizer must respect the accuracy
+  // floor (small tolerance for mid-window reconfiguration mixing).
+  if (scenario.accuracy_limit_pct.has_value()) {
+    EXPECT_LE(run.clover.AccuracyLossPctVs(run.base),
+              *scenario.accuracy_limit_pct + 0.5);
+  }
+}
+
+}  // namespace clover::testing

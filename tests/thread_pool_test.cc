@@ -1,0 +1,109 @@
+// common/thread_pool.h: ordering/coverage, slot exclusivity, exception
+// propagation (Submit futures and ParallelFor's lowest-index rule), and
+// shutdown draining.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace clover {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](int, std::size_t index) {
+    visits[index].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsAreMutuallyExclusive) {
+  ThreadPool pool(4);
+  // Two tasks carrying the same slot index must never overlap in time —
+  // that is the guarantee per-slot state (RNGs, simulator replicas) rests
+  // on. Entering a slot that is already occupied trips the flag.
+  std::vector<std::atomic<int>> occupancy(4);
+  std::atomic<bool> overlapped{false};
+  pool.ParallelFor(512, [&](int slot, std::size_t) {
+    const auto s = static_cast<std::size_t>(slot);
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, 4);
+    if (occupancy[s].fetch_add(1, std::memory_order_acq_rel) != 0)
+      overlapped.store(true, std::memory_order_relaxed);
+    occupancy[s].fetch_sub(1, std::memory_order_acq_rel);
+  });
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](int, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SubmitFuturePropagatesException) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] {});
+  auto bad = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestThrowingIndex) {
+  ThreadPool pool(4);
+  // Indices 7 and 100 both throw; the rule is "lowest index wins", which
+  // keeps the observed error independent of scheduling and thread count.
+  auto run = [&] {
+    pool.ParallelFor(512, [&](int, std::size_t index) {
+      if (index == 7 || index == 100)
+        throw std::runtime_error("index-" + std::to_string(index));
+    });
+  };
+  try {
+    run();
+    FAIL() << "expected ParallelFor to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "index-7");
+  }
+  // Non-throwing indices all still ran (errors don't cancel the batch).
+}
+
+TEST(ThreadPoolTest, ParallelForKeepsRunningAfterAnError) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 300;
+  std::vector<std::atomic<int>> visits(kN);
+  EXPECT_THROW(pool.ParallelFor(kN,
+                                [&](int, std::size_t index) {
+                                  visits[index].fetch_add(1);
+                                  if (index == 0)
+                                    throw std::runtime_error("early");
+                                }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i)
+      pool.Submit([&] { completed.fetch_add(1, std::memory_order_relaxed); });
+    // No explicit wait: the destructor must run every queued task.
+  }
+  EXPECT_EQ(completed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace clover
