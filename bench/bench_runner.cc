@@ -18,6 +18,11 @@
 //   opt_annealing    same comparison for the graph-space annealer
 //   e2e_step         full trace -> controller -> simulator pipeline on the
 //                    scenario-matrix step-trace fixture (BASE + CLOVER)
+//   fleet_routing    geo-distributed fleet (us-west + ap-northeast, anti-
+//                    correlated carbon): CLOVER per region under the
+//                    carbon-greedy global router vs the static split;
+//                    reports the spatial gCO2 saving and checks the fleet
+//                    bit-identity contract (--threads vs 1 thread)
 //
 // Exit status is nonzero when any parallel run failed the bit-identity
 // check, so CI catches determinism regressions without a threshold.
@@ -32,6 +37,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "core/harness.h"
+#include "fleet/fleet_sim.h"
 #include "graph/neighbors.h"
 #include "models/zoo.h"
 #include "opt/evaluator.h"
@@ -111,6 +117,8 @@ struct SuiteScale {
   int random_batch = 16;            // random-search round size
   int anneal_batch = 8;             // annealer speculative round size
   double e2e_hours = 2.0;           // e2e_step span
+  int fleet_gpus = 2;               // per fleet region
+  double fleet_hours = 2.0;         // fleet_routing span
 };
 
 SuiteScale ScaleFor(const std::string& suite) {
@@ -120,6 +128,8 @@ SuiteScale ScaleFor(const std::string& suite) {
     scale.sim_seconds = 7200.0;
     scale.candidates = 256;
     scale.e2e_hours = 12.0;
+    scale.fleet_gpus = 5;
+    scale.fleet_hours = 12.0;
   }
   return scale;
 }
@@ -295,6 +305,71 @@ ScenarioTiming CompareSerialParallel(const std::string& name,
   return timing;
 }
 
+// ---------------------------------------------------------------------------
+// fleet_routing: spatial carbon arbitrage across anti-correlated regions.
+// ---------------------------------------------------------------------------
+fleet::FleetConfig MakeFleetConfig(const RunnerFlags& flags,
+                                   const SuiteScale& scale,
+                                   fleet::RouterPolicy policy, int threads) {
+  fleet::FleetConfig config;
+  config.app = models::Application::kClassification;
+  // us-west and ap-northeast share the CISO March profile 12 h apart, so
+  // their solar dips are anti-correlated — the setting where the spatial
+  // lever matters most (and the same presets the fleet tests use).
+  config.regions =
+      fleet::RegionsFromPresets({"us-west", "ap-northeast"}, scale.fleet_gpus);
+  config.duration_hours = scale.fleet_hours;
+  config.scheme = core::Scheme::kClover;
+  config.router = policy;
+  config.seed = flags.seed;
+  config.threads = threads;
+  return config;
+}
+
+ScenarioTiming RunFleetRouting(const RunnerFlags& flags,
+                               const SuiteScale& scale) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  WallTimer timer;
+  const fleet::FleetReport greedy = fleet::RunFleet(
+      MakeFleetConfig(flags, scale, fleet::RouterPolicy::kCarbonGreedy,
+                      flags.threads),
+      zoo);
+  const double wall = timer.Seconds();
+  const fleet::FleetReport static_split = fleet::RunFleet(
+      MakeFleetConfig(flags, scale, fleet::RouterPolicy::kStatic,
+                      flags.threads),
+      zoo);
+
+  ScenarioTiming timing;
+  timing.name = "fleet_routing";
+  timing.wall_seconds = wall;
+  timing.events = greedy.fleet.sim_events;
+  timing.events_per_sec =
+      wall > 0.0 ? static_cast<double>(timing.events) / wall : 0.0;
+  timing.sim_p50_ms = greedy.fleet.overall_p50_ms;
+  timing.sim_p99_ms = greedy.fleet.overall_p99_ms;
+  // The fleet determinism contract: thread count never changes results.
+  // At --threads 1 the twin would be configured identically, so the
+  // comparison is vacuous and the extra simulation is skipped.
+  if (flags.threads > 1) {
+    const fleet::FleetReport greedy_serial = fleet::RunFleet(
+        MakeFleetConfig(flags, scale, fleet::RouterPolicy::kCarbonGreedy, 1),
+        zoo);
+    timing.deterministic =
+        fleet::FleetReportsBitIdentical(greedy, greedy_serial);
+  }
+  const double save_pct =
+      greedy.fleet.CarbonSavePctVs(static_split.fleet);
+  timing.notes = std::to_string(greedy.regions.size()) +
+                 " regions (us-west + ap-northeast), carbon-greedy vs "
+                 "static: " +
+                 TextTable::Num(save_pct, 1) + "% gCO2, SLO attainment " +
+                 TextTable::Num(greedy.slo_attainment * 100.0, 1) + "% vs " +
+                 TextTable::Num(static_split.slo_attainment * 100.0, 1) +
+                 "%";
+  return timing;
+}
+
 }  // namespace
 }  // namespace clover::bench
 
@@ -345,6 +420,8 @@ int main(int argc, char** argv) {
     suite.scenarios.push_back(timing);
   }
 #endif
+
+  suite.scenarios.push_back(bench::RunFleetRouting(flags, scale));
 
   std::filesystem::create_directories(flags.out_dir);
   const std::string json_path =

@@ -45,6 +45,14 @@ carbon::CarbonTrace EvalTrace(carbon::TraceProfile profile,
   return GenerateTrace(profile, options);
 }
 
+carbon::CarbonTrace EvalTrace(const carbon::RegionPreset& preset,
+                              const Flags& flags) {
+  carbon::TraceGeneratorOptions options;
+  options.duration_hours = flags.hours;
+  options.seed = flags.seed + 41;  // matches RunFleet's trace seeding
+  return GenerateRegionTrace(preset, options);
+}
+
 std::vector<core::RunReport> RunAll(
     const std::vector<core::ExperimentConfig>& configs, int parallelism) {
   std::vector<core::RunReport> reports(configs.size());

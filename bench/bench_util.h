@@ -30,6 +30,11 @@ Flags ParseFlags(int argc, char** argv);
 carbon::CarbonTrace EvalTrace(carbon::TraceProfile profile,
                               const Flags& flags);
 
+// Evaluation trace for a named region preset (fig16 and the fleet bench
+// share these inputs; see carbon::NamedRegionPresets).
+carbon::CarbonTrace EvalTrace(const carbon::RegionPreset& preset,
+                              const Flags& flags);
+
 // Runs experiments in parallel across worker threads (each worker owns an
 // ExperimentHarness; determinism makes results independent of placement).
 std::vector<core::RunReport> RunAll(

@@ -9,15 +9,26 @@
 // `--trace-csv` loads a real carbon-intensity feed ("seconds,gCO2/kWh"
 // rows) instead of the synthetic profiles; `--csv` dumps the per-window
 // series for plotting.
+//
+// Fleet mode runs the multi-region pipeline instead (src/fleet/):
+//
+//   clover_cli --fleet [--regions us-west,ap-northeast] [--router
+//              carbon-greedy|static|least-loaded] [--threads N] ...
+//
+// `--gpus` then sizes each region, `--scheme` picks the per-region scheme
+// (base/blover/clover), and the report covers the whole fleet plus one row
+// per region, including each regional controller's snapshot.
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "carbon/trace_generator.h"
 #include "common/csv.h"
 #include "common/table.h"
 #include "core/harness.h"
+#include "fleet/fleet_sim.h"
 
 namespace {
 
@@ -35,7 +46,14 @@ using namespace clover;
       << "  --lambda L         carbon-vs-accuracy weight (default 0.5)\n"
       << "  --limit PCT        enforce max accuracy loss (threshold mode)\n"
       << "  --seed S           RNG seed (default 1)\n"
-      << "  --csv FILE         dump per-window series\n";
+      << "  --csv FILE         dump per-window series\n"
+      << "fleet mode:\n"
+      << "  --fleet            serve one workload across regional clusters\n"
+      << "  --regions A,B,...  named region presets (default "
+         "us-west,ap-northeast)\n"
+      << "  --router static|least-loaded|carbon-greedy (default "
+         "carbon-greedy)\n"
+      << "  --threads N        region-step fan-out width (default 1)\n";
   std::exit(2);
 }
 
@@ -67,6 +85,80 @@ carbon::TraceProfile ParseProfile(const std::string& name,
   Usage(argv0);
 }
 
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) items.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+int RunFleetMode(const core::ExperimentConfig& config,
+                 const std::string& regions_list,
+                 const std::string& router_name, int threads) {
+  fleet::FleetConfig fleet_config;
+  fleet_config.app = config.app;
+  fleet_config.regions = fleet::RegionsFromPresets(
+      SplitCommaList(regions_list), config.num_gpus);
+  fleet_config.duration_hours = config.duration_hours;
+  fleet_config.scheme = config.scheme;
+  fleet_config.router = fleet::ParseRouterPolicy(router_name);
+  fleet_config.lambda = config.lambda;
+  fleet_config.seed = config.seed;
+  fleet_config.threads = threads;
+
+  const fleet::FleetReport report =
+      fleet::RunFleet(fleet_config, models::DefaultZoo());
+
+  clover::TextTable table({"fleet metric", "value"});
+  table.AddRow({"router", report.router_name});
+  table.AddRow({"scheme", std::string(core::SchemeName(config.scheme))});
+  table.AddRow({"regions", std::to_string(report.regions.size())});
+  table.AddRow({"global rate (qps)",
+                clover::TextTable::Num(report.total_qps, 1)});
+  table.AddRow({"requests served",
+                std::to_string(report.fleet.completions)});
+  table.AddRow({"weighted accuracy",
+                clover::TextTable::Num(report.fleet.weighted_accuracy, 3)});
+  table.AddRow({"fleet p95 incl. network (ms)",
+                clover::TextTable::Num(report.fleet.overall_p95_ms, 1)});
+  table.AddRow({"SLO budget (ms)",
+                clover::TextTable::Num(report.slo_budget_ms, 1)});
+  table.AddRow({"SLO attainment (%)",
+                clover::TextTable::Num(report.slo_attainment * 100.0, 1)});
+  table.AddRow({"total carbon (kg CO2)",
+                clover::TextTable::Num(report.fleet.total_carbon_g / 1e3,
+                                       3)});
+  table.AddRow({"carbon per request (gCO2)",
+                clover::TextTable::Num(report.fleet.carbon_per_request_g,
+                                       5)});
+  table.Print(std::cout);
+
+  std::cout << "\n";
+  clover::TextTable regions({"region", "mean share (%)", "net RTT (ms)",
+                             "gCO2", "p95 (ms)", "invocations",
+                             "cache size", "last CI"});
+  for (const fleet::RegionReport& region : report.regions) {
+    const bool has_controller = region.controller.has_value();
+    regions.AddRow(
+        {region.name, clover::TextTable::Num(region.mean_weight * 100.0, 1),
+         clover::TextTable::Num(region.latency_penalty_ms, 0),
+         clover::TextTable::Num(region.report.total_carbon_g, 1),
+         clover::TextTable::Num(region.report.overall_p95_ms, 1),
+         std::to_string(has_controller ? region.controller->invocations : 0),
+         std::to_string(has_controller ? region.controller->cache_size : 0),
+         clover::TextTable::Num(
+             has_controller ? region.controller->last_ci : 0.0, 1)});
+  }
+  regions.Print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -74,6 +166,12 @@ int main(int argc, char** argv) {
   std::string trace_name = "ciso-march";
   std::string trace_csv;
   std::string out_csv;
+  bool fleet_mode = false;
+  bool trace_explicit = false;
+  bool fleet_flags_used = false;
+  std::string fleet_regions = "us-west,ap-northeast";
+  std::string fleet_router = "carbon-greedy";
+  int fleet_threads = 1;
   config.duration_hours = 48.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +185,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--app") {
       config.app = ParseApp(next(), argv[0]);
     } else if (arg == "--trace") {
+      trace_explicit = true;
       trace_name = next();
     } else if (arg == "--trace-csv") {
       trace_csv = next();
@@ -102,9 +201,46 @@ int main(int argc, char** argv) {
       config.seed = std::stoull(next());
     } else if (arg == "--csv") {
       out_csv = next();
+    } else if (arg == "--fleet") {
+      fleet_mode = true;
+    } else if (arg == "--regions") {
+      fleet_flags_used = true;
+      fleet_regions = next();
+    } else if (arg == "--router") {
+      fleet_flags_used = true;
+      fleet_router = next();
+    } else if (arg == "--threads") {
+      fleet_flags_used = true;
+      fleet_threads = std::stoi(next());
     } else {
       Usage(argv[0]);
     }
+  }
+
+  // Both directions of the mode split refuse flags the other pipeline
+  // would silently ignore — a plausible-looking report for a different
+  // question is worse than an error.
+  if (!fleet_mode && fleet_flags_used) {
+    std::cerr << "--regions/--router/--threads require --fleet\n";
+    Usage(argv[0]);
+  }
+
+  if (fleet_mode) {
+    if (config.scheme == core::Scheme::kCo2Opt ||
+        config.scheme == core::Scheme::kOracle) {
+      std::cerr << "fleet mode supports --scheme base|blover|clover\n";
+      Usage(argv[0]);
+    }
+    // Refuse flags the fleet pipeline does not honor rather than silently
+    // answering a different question (regions define their own traces; the
+    // threshold objective and window dump are single-cluster reports).
+    if (trace_explicit || !trace_csv.empty() ||
+        config.accuracy_limit_pct.has_value() || !out_csv.empty()) {
+      std::cerr << "--trace/--trace-csv/--limit/--csv do not apply to "
+                   "--fleet (regions use the named presets)\n";
+      Usage(argv[0]);
+    }
+    return RunFleetMode(config, fleet_regions, fleet_router, fleet_threads);
   }
 
   carbon::TraceGeneratorOptions trace_options;

@@ -1,0 +1,85 @@
+// fleet_demo — geo-distributed fleet serving in one page: three regional
+// Clover clusters on anti-correlated grids, one global workload, and the
+// three routing policies compared head to head.
+//
+//   ./fleet_demo            # ~half a minute: 6 simulated hours, 3 regions
+//
+// What to look for in the output:
+//   * carbon-greedy emits the least gCO2: it shifts load toward whichever
+//     region's grid is cleanest right now (spatial arbitrage), while each
+//     regional controller keeps adapting its own cluster (temporal).
+//   * the static split is the baseline an operator would configure by hand;
+//     least-loaded matches it on latency but ignores carbon.
+//   * all policies hold the fleet SLO (p95 including network penalty).
+#include <iostream>
+
+#include "common/table.h"
+#include "fleet/fleet_sim.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace clover;
+
+  fleet::FleetConfig config;
+  config.app = models::Application::kClassification;
+  // us-west (solar duck curve), eu-west (wind), ap-northeast (solar, 12 h
+  // out of phase with us-west) — the named presets the benches use too.
+  config.regions =
+      fleet::RegionsFromPresets({"us-west", "eu-west", "ap-northeast"},
+                                /*gpus_per_region=*/3);
+  config.duration_hours = 6.0;
+  config.scheme = core::Scheme::kClover;
+  config.seed = 7;
+
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  std::cout << "==== fleet_demo — 3 regions, " << config.duration_hours
+            << " simulated hours, CLOVER per region ====\n\n";
+
+  TextTable table({"router", "gCO2 total", "vs static (%)", "p95 (ms)",
+                   "SLO att (%)", "accuracy", "opt invocations"});
+  double static_carbon = 0.0;
+  for (fleet::RouterPolicy policy :
+       {fleet::RouterPolicy::kStatic, fleet::RouterPolicy::kLeastLoaded,
+        fleet::RouterPolicy::kCarbonGreedy}) {
+    config.router = policy;
+    const fleet::FleetReport report = fleet::RunFleet(config, zoo);
+    if (policy == fleet::RouterPolicy::kStatic)
+      static_carbon = report.fleet.total_carbon_g;
+    std::size_t invocations = 0;
+    for (const fleet::RegionReport& region : report.regions)
+      invocations += region.report.optimizations.size();
+    table.AddRow(
+        {fleet::RouterPolicyName(policy),
+         TextTable::Num(report.fleet.total_carbon_g, 1),
+         TextTable::Num((static_carbon - report.fleet.total_carbon_g) /
+                            static_carbon * 100.0,
+                        2),
+         TextTable::Num(report.fleet.overall_p95_ms, 1),
+         TextTable::Num(report.slo_attainment * 100.0, 1),
+         TextTable::Num(report.fleet.weighted_accuracy, 3),
+         std::to_string(invocations)});
+
+    if (policy == fleet::RouterPolicy::kCarbonGreedy) {
+      std::cout << "carbon-greedy per-region view:\n";
+      TextTable regions({"region", "mean share (%)", "net RTT (ms)",
+                         "gCO2", "p95 (ms)", "cache size"});
+      for (const fleet::RegionReport& region : report.regions) {
+        regions.AddRow(
+            {region.name, TextTable::Num(region.mean_weight * 100.0, 1),
+             TextTable::Num(region.latency_penalty_ms, 0),
+             TextTable::Num(region.report.total_carbon_g, 1),
+             TextTable::Num(region.report.overall_p95_ms, 1),
+             std::to_string(region.controller.has_value()
+                                ? region.controller->cache_size
+                                : 0)});
+      }
+      regions.Print(std::cout);
+      std::cout << "\n";
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nspatial + temporal: the router chases clean grids across "
+               "regions while each regional Clover controller adapts its "
+               "own cluster.\n";
+  return 0;
+}

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json files against the clover-bench-v1 schema.
 
-Usage: validate_bench_json.py FILE [FILE...]
+Usage: validate_bench_json.py [--require-scenario NAME]... FILE [FILE...]
 
 Exits nonzero (with a message per problem) when a file is malformed —
 unparsable JSON, wrong schema tag, missing/of-the-wrong-type fields, or
 physically impossible values (negative wall time, empty suite). It does
 NOT judge regressions: thresholds are a later PR's business; this gate
 only guarantees the artifact every CI run uploads is machine-readable.
+
+--require-scenario NAME (repeatable) additionally fails when a file lacks
+a scenario row with that name — CI uses it so a suite can never silently
+drop a scenario (e.g. fleet_routing) from the baseline artifact.
 
 Stdlib only (json, sys) — no pip dependencies.
 """
@@ -48,7 +52,7 @@ TOP_FIELDS = {
 }
 
 
-def validate(path):
+def validate(path, required_scenarios=()):
     problems = []
     try:
         with open(path, encoding="utf-8") as handle:
@@ -109,20 +113,42 @@ def validate(path):
             problems.append(f"{where}: negative wall_seconds")
         if isinstance(scenario.get("name"), str) and not scenario["name"]:
             problems.append(f"{where}: empty name")
+
+    present = {
+        scenario.get("name")
+        for scenario in doc["scenarios"]
+        if isinstance(scenario, dict)
+    }
+    for name in required_scenarios:
+        if name not in present:
+            problems.append(f"{path}: missing required scenario '{name}'")
     return problems
 
 
 def main(argv):
-    if len(argv) < 2:
+    required = []
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require-scenario":
+            if i + 1 >= len(argv):
+                print("--require-scenario needs a value", file=sys.stderr)
+                return 2
+            required.append(argv[i + 1])
+            i += 2
+        else:
+            paths.append(argv[i])
+            i += 1
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     all_problems = []
-    for path in argv[1:]:
-        all_problems.extend(validate(path))
+    for path in paths:
+        all_problems.extend(validate(path, required))
     for problem in all_problems:
         print(f"FAIL {problem}", file=sys.stderr)
     if not all_problems:
-        for path in argv[1:]:
+        for path in paths:
             print(f"ok {path}")
     return 1 if all_problems else 0
 

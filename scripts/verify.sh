@@ -11,8 +11,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Perf baseline: the bench_runner_smoke ctest above already ran the smoke
-# suite and wrote its JSON; validate the schema (mirrors the CI step).
+# suite (fleet_routing included) and wrote its JSON; validate the schema
+# and the required scenarios (mirrors the CI step).
 if command -v python3 >/dev/null; then
   python3 scripts/validate_bench_json.py \
+    --require-scenario fleet_routing \
     "$BUILD_DIR"/bench/bench_smoke_out/BENCH_smoke.json
 fi

@@ -1,9 +1,11 @@
 #include "carbon/trace.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "common/check.h"
 
@@ -56,34 +58,80 @@ double CarbonTrace::MaxSwingWithin(double span_seconds) const {
   return max_swing;
 }
 
+void CarbonTrace::ToCsv(const std::string& path) const {
+  std::ofstream out(path);
+  CLOVER_CHECK_MSG(out.good(), "cannot write trace csv " << path);
+  out << "seconds,gCO2_per_kWh\n";
+  // std::to_chars: shortest representation that parses back bit-exactly,
+  // immune to the global locale (a comma decimal point would corrupt the
+  // CSV), matching the JSON writer's rationale (common/json.cc).
+  char buffer[64];
+  auto write_number = [&](double value) {
+    const auto result = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    CLOVER_CHECK(result.ec == std::errc());
+    out.write(buffer, result.ptr - buffer);
+  };
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    write_number(static_cast<double>(i) * sample_interval_s_);
+    out.put(',');
+    write_number(values_[i]);
+    out.put('\n');
+  }
+  out.flush();
+  CLOVER_CHECK_MSG(out.good(), "failed writing trace csv " << path);
+}
+
 CarbonTrace CarbonTrace::FromCsv(const std::string& name,
                                  const std::string& path) {
   std::ifstream in(path);
   CLOVER_CHECK_MSG(in.good(), "cannot open trace csv " << path);
   std::vector<double> times;
   std::vector<double> values;
+  std::vector<int> data_lines;  // source line of each sample, for diagnostics
   std::string line;
+  int line_number = 0;
+  bool header_seen = false;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
     std::istringstream row(line);
     std::string t_str, v_str;
-    if (!std::getline(row, t_str, ',') || !std::getline(row, v_str, ','))
-      continue;
-    try {
-      times.push_back(std::stod(t_str));
-      values.push_back(std::stod(v_str));
-    } catch (const std::exception&) {
-      continue;  // header row
+    bool parsed = std::getline(row, t_str, ',') &&
+                  std::getline(row, v_str, ',');
+    double t = 0.0, v = 0.0;
+    if (parsed) {
+      try {
+        t = std::stod(t_str);
+        v = std::stod(v_str);
+      } catch (const std::exception&) {
+        parsed = false;
+      }
     }
+    if (!parsed) {
+      // At most one non-numeric line is tolerated, before any sample (the
+      // header row); anything else gets a precise diagnostic.
+      CLOVER_CHECK_MSG(times.empty() && !header_seen,
+                       "trace csv " << path << " line " << line_number
+                                    << ": malformed row '" << line << "'");
+      header_seen = true;
+      continue;
+    }
+    times.push_back(t);
+    values.push_back(v);
+    data_lines.push_back(line_number);
   }
   CLOVER_CHECK_MSG(values.size() >= 2, "trace csv " << path
                                                     << " needs >= 2 samples");
   const double interval = times[1] - times[0];
-  CLOVER_CHECK_MSG(interval > 0.0, "non-increasing timestamps in " << path);
+  CLOVER_CHECK_MSG(interval > 0.0, "trace csv "
+                                       << path << " line " << data_lines[1]
+                                       << ": non-increasing timestamps");
   for (std::size_t i = 2; i < times.size(); ++i) {
     const double gap = times[i] - times[i - 1];
     CLOVER_CHECK_MSG(std::abs(gap - interval) < 1e-6 * interval + 1e-9,
-                     "trace csv " << path << " is not uniformly sampled");
+                     "trace csv " << path << " line " << data_lines[i]
+                                  << ": not uniformly sampled (gap " << gap
+                                  << "s vs interval " << interval << "s)");
   }
   return CarbonTrace(name, interval, std::move(values));
 }

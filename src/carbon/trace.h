@@ -37,8 +37,13 @@ class CarbonTrace {
   // observation).
   double MaxSwingWithin(double span_seconds) const;
 
-  // Loads "seconds,gCO2_per_kWh" rows (header optional) with uniform
-  // spacing. Throws on malformed input.
+  // Writes "seconds,gCO2_per_kWh" rows (with header) that FromCsv reads
+  // back into an identical trace. Throws when `path` cannot be written.
+  void ToCsv(const std::string& path) const;
+
+  // Loads "seconds,gCO2_per_kWh" rows (header optional, first line only)
+  // with uniform spacing. Throws on malformed input; diagnostics name the
+  // offending line number.
   static CarbonTrace FromCsv(const std::string& name, const std::string& path);
 
  private:

@@ -38,6 +38,55 @@ ProfileParams ParamsFor(TraceProfile profile) {
   return {200.0, 50.0, 40.0, 25.0, 6.0, 80.0, 350.0};
 }
 
+// Shared generation core. `phase_shift_hours` moves the diurnal harmonics
+// (a region's longitude offset); `amplitude_scale` multiplies the dip/ramp
+// amplitudes and the weather sigma. With phase 0 and amplitude 1 the
+// arithmetic reduces to the historical GenerateTrace exactly (x + 0.0 and
+// x * 1.0 are bit-identical), so existing traces are unchanged.
+CarbonTrace GenerateShaped(const ProfileParams& params,
+                           const std::string& trace_name,
+                           const std::string& stream_name,
+                           double phase_shift_hours, double amplitude_scale,
+                           const TraceGeneratorOptions& options) {
+  RngStream rng(options.seed, stream_name);
+
+  const auto num_samples = static_cast<std::size_t>(
+      HoursToSeconds(options.duration_hours) / options.sample_interval_s);
+  std::vector<double> values;
+  values.reserve(num_samples);
+
+  const double solar_dip = params.solar_dip * amplitude_scale;
+  const double evening_ramp = params.evening_ramp * amplitude_scale;
+  const double ou_sigma = params.ou_sigma * amplitude_scale;
+
+  // Ornstein–Uhlenbeck weather process, exact discretization.
+  const double dt_hours = options.sample_interval_s / 3600.0;
+  const double decay = std::exp(-dt_hours / params.ou_tau_hours);
+  const double innovation_sigma = ou_sigma * std::sqrt(1.0 - decay * decay);
+  double weather = ou_sigma * rng.NextGaussian();
+
+  constexpr double kTwoPi = 6.283185307179586;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const double hour_of_day =
+        std::fmod(static_cast<double>(i) * dt_hours + phase_shift_hours,
+                  24.0);
+    // Solar dip centered at 13:00 local (cos peaks there with this phase).
+    const double solar =
+        -solar_dip *
+        std::max(0.0, std::cos(kTwoPi * (hour_of_day - 13.0) / 24.0));
+    // Evening-ramp harmonic peaking at 20:00.
+    const double ramp =
+        evening_ramp * std::cos(kTwoPi * (hour_of_day - 20.0) / 12.0);
+    weather = decay * weather + innovation_sigma * rng.NextGaussian();
+    const double value =
+        std::clamp(params.base + solar + ramp + weather, params.floor,
+                   params.ceiling);
+    values.push_back(value);
+  }
+  return CarbonTrace(trace_name, options.sample_interval_s,
+                     std::move(values));
+}
+
 }  // namespace
 
 const char* TraceProfileName(TraceProfile profile) {
@@ -54,41 +103,35 @@ const char* TraceProfileName(TraceProfile profile) {
 
 CarbonTrace GenerateTrace(TraceProfile profile,
                           const TraceGeneratorOptions& options) {
-  const ProfileParams params = ParamsFor(profile);
-  RngStream rng(options.seed, std::string("carbon-trace-") +
-                                  TraceProfileName(profile));
+  return GenerateShaped(ParamsFor(profile), TraceProfileName(profile),
+                        std::string("carbon-trace-") +
+                            TraceProfileName(profile),
+                        /*phase_shift_hours=*/0.0, /*amplitude_scale=*/1.0,
+                        options);
+}
 
-  const auto num_samples = static_cast<std::size_t>(
-      HoursToSeconds(options.duration_hours) / options.sample_interval_s);
-  std::vector<double> values;
-  values.reserve(num_samples);
+const std::vector<RegionPreset>& NamedRegionPresets() {
+  static const std::vector<RegionPreset> kPresets = {
+      {"us-west", TraceProfile::kCisoMarch, 0.0, 1.0},
+      {"us-east", TraceProfile::kCisoSeptember, 3.0, 1.0},
+      {"eu-west", TraceProfile::kEsoMarch, 8.0, 1.0},
+      {"ap-northeast", TraceProfile::kCisoMarch, 12.0, 1.0},
+  };
+  return kPresets;
+}
 
-  // Ornstein–Uhlenbeck weather process, exact discretization.
-  const double dt_hours = options.sample_interval_s / 3600.0;
-  const double decay = std::exp(-dt_hours / params.ou_tau_hours);
-  const double innovation_sigma =
-      params.ou_sigma * std::sqrt(1.0 - decay * decay);
-  double weather = params.ou_sigma * rng.NextGaussian();
+const RegionPreset* FindRegionPreset(std::string_view name) {
+  for (const RegionPreset& preset : NamedRegionPresets())
+    if (preset.name == name) return &preset;
+  return nullptr;
+}
 
-  constexpr double kTwoPi = 6.283185307179586;
-  for (std::size_t i = 0; i < num_samples; ++i) {
-    const double hour_of_day =
-        std::fmod(static_cast<double>(i) * dt_hours, 24.0);
-    // Solar dip centered at 13:00 local (cos peaks there with this phase).
-    const double solar =
-        -params.solar_dip *
-        std::max(0.0, std::cos(kTwoPi * (hour_of_day - 13.0) / 24.0));
-    // Evening-ramp harmonic peaking at 20:00.
-    const double ramp =
-        params.evening_ramp * std::cos(kTwoPi * (hour_of_day - 20.0) / 12.0);
-    weather = decay * weather + innovation_sigma * rng.NextGaussian();
-    const double value =
-        std::clamp(params.base + solar + ramp + weather, params.floor,
-                   params.ceiling);
-    values.push_back(value);
-  }
-  return CarbonTrace(TraceProfileName(profile), options.sample_interval_s,
-                     std::move(values));
+CarbonTrace GenerateRegionTrace(const RegionPreset& preset,
+                                const TraceGeneratorOptions& options) {
+  return GenerateShaped(ParamsFor(preset.profile), preset.name,
+                        "carbon-trace-region-" + preset.name,
+                        preset.phase_shift_hours, preset.amplitude_scale,
+                        options);
 }
 
 }  // namespace clover::carbon

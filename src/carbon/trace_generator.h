@@ -18,6 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "carbon/trace.h"
 
@@ -42,5 +45,37 @@ struct TraceGeneratorOptions {
 // Generates a trace for the given grid/season profile.
 CarbonTrace GenerateTrace(TraceProfile profile,
                           const TraceGeneratorOptions& options = {});
+
+// --- Region presets (multi-region fleet serving) -------------------------
+//
+// A region is a grid profile placed on the globe: the diurnal harmonics are
+// shifted by the region's longitude offset and scaled by a local amplitude
+// factor, and the OU weather process is seeded per region name, so two
+// regions sharing a profile still see independent weather. Phase shifts are
+// the lever that makes spatial carbon arbitrage testable: two regions of
+// the same profile 12 h apart have anti-correlated solar dips.
+struct RegionPreset {
+  std::string name;                                 // e.g. "us-west"
+  TraceProfile profile = TraceProfile::kCisoMarch;  // underlying grid shape
+  double phase_shift_hours = 0.0;  // shifts the diurnal harmonics
+  double amplitude_scale = 1.0;    // scales dip/ramp/weather around the base
+};
+
+// The built-in named regions, shared by the fleet layer, the fleet bench
+// and fig16 (so they all agree on inputs):
+//   us-west       CISO March duck curve, phase 0 (the reference region)
+//   us-east       CISO September, +3 h
+//   eu-west       ESO March wind grid, +8 h
+//   ap-northeast  CISO March shape, +12 h — anti-correlated with us-west
+const std::vector<RegionPreset>& NamedRegionPresets();
+
+// Looks a preset up by name; nullptr when unknown.
+const RegionPreset* FindRegionPreset(std::string_view name);
+
+// Generates the region's trace (named after the preset). With phase 0 and
+// amplitude 1 this is GenerateTrace for the preset's profile except for the
+// weather stream, which is seeded per region name.
+CarbonTrace GenerateRegionTrace(const RegionPreset& preset,
+                                const TraceGeneratorOptions& options = {});
 
 }  // namespace clover::carbon

@@ -125,6 +125,32 @@ void LogHistogramQuantile::Add(double x) {
   ++count_;
 }
 
+void LogHistogramQuantile::Add(double x, std::uint64_t count) {
+  if (count == 0) return;
+  bins_[BinOf(x)] += count;
+  count_ += count;
+}
+
+double LogHistogramQuantile::BinValue(std::size_t bin) const {
+  if (bin == 0) return kMinValue;
+  if (bin == bins_.size() - 1) return kMaxValue;
+  const double lo = kMinValue * std::pow(10.0, static_cast<double>(bin - 1) /
+                                                   kBinsPerDecade);
+  const double hi =
+      kMinValue * std::pow(10.0, static_cast<double>(bin) / kBinsPerDecade);
+  return std::sqrt(lo * hi);
+}
+
+void LogHistogramQuantile::MergeShifted(const LogHistogramQuantile& other,
+                                        double shift) {
+  CLOVER_CHECK(&other != this);
+  CLOVER_CHECK(shift >= 0.0);
+  for (std::size_t bin = 0; bin < other.bins_.size(); ++bin) {
+    if (other.bins_[bin] == 0) continue;
+    Add(BinValue(bin) + shift, other.bins_[bin]);
+  }
+}
+
 double LogHistogramQuantile::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   CLOVER_CHECK(q >= 0.0 && q <= 1.0);
@@ -134,17 +160,7 @@ double LogHistogramQuantile::Quantile(double q) const {
   std::uint64_t cumulative = 0;
   for (std::size_t bin = 0; bin < bins_.size(); ++bin) {
     cumulative += bins_[bin];
-    if (cumulative >= rank) {
-      if (bin == 0) return kMinValue;
-      // Geometric midpoint of the bin's value range.
-      const double lo =
-          kMinValue * std::pow(10.0, static_cast<double>(bin - 1) /
-                                         kBinsPerDecade);
-      const double hi =
-          kMinValue * std::pow(10.0, static_cast<double>(bin) /
-                                         kBinsPerDecade);
-      return std::sqrt(lo * hi);
-    }
+    if (cumulative >= rank) return BinValue(bin);
   }
   return kMaxValue;
 }

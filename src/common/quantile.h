@@ -102,16 +102,30 @@ class LogHistogramQuantile {
   LogHistogramQuantile();
 
   void Add(double x);
+  // Adds `count` observations of value `x` in one update.
+  void Add(double x, std::uint64_t count);
   std::uint64_t count() const { return count_; }
 
   // Nearest-rank quantile, interpolated geometrically within the bin.
   // Returns 0 when empty.
   double Quantile(double q) const;
 
+  // Folds `other` into this histogram with every observation shifted by
+  // `shift` (>= 0): each source bin is re-added at its representative value
+  // (the geometric bin center) plus the shift. The shift makes the merge a
+  // bin-resolution approximation, which is the estimator's accuracy anyway.
+  // Used for fleet-level latency aggregation, where each region's
+  // distribution is offset by its network penalty before merging; `other`
+  // must not alias this histogram.
+  void MergeShifted(const LogHistogramQuantile& other, double shift);
+
   void Reset();
 
  private:
   std::size_t BinOf(double x) const;
+  // Representative value of a bin (the same geometric midpoint Quantile
+  // reports for it).
+  double BinValue(std::size_t bin) const;
 
   std::vector<std::uint64_t> bins_;
   std::uint64_t count_ = 0;

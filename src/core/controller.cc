@@ -41,7 +41,8 @@ Controller::Controller(sim::ClusterSim* sim, const models::ModelZoo* zoo,
   eval_options.l_tail_ms = params_.l_tail_ms;
   sim_evaluator_ = std::make_unique<opt::SimEvaluator>(sim_, &mapper_,
                                                        eval_options);
-  cache_ = std::make_unique<opt::CachingEvaluator>(sim_evaluator_.get());
+  cache_ = std::make_unique<opt::CachingEvaluator>(sim_evaluator_.get(),
+                                                   options_.eval_cache);
 
   if (options_.scheme == Scheme::kClover) {
     // Clover: SA in graph space through the cross-invocation cache.
@@ -52,6 +53,21 @@ Controller::Controller(sim::ClusterSim* sim, const models::ModelZoo* zoo,
     random_search_ = std::make_unique<opt::RandomSearch>(
         sim_evaluator_.get(), &mapper_, options_.rs, options_.seed);
   }
+}
+
+ControllerSnapshot Controller::Snapshot() const {
+  ControllerSnapshot snapshot;
+  snapshot.invocations = static_cast<int>(history_.size());
+  if (!history_.empty()) {
+    snapshot.last_invocation_end_s = history_.back().end_s;
+    snapshot.last_ci = history_.back().ci;
+    snapshot.last_best_f = history_.back().search.best_f;
+  }
+  snapshot.cache_size = cache_->store()->size();
+  snapshot.cache_hits = cache_->hits();
+  snapshot.total_optimization_seconds = total_opt_seconds_;
+  snapshot.last_committed = last_compliant_;
+  return snapshot;
 }
 
 std::optional<OptimizationRun> Controller::Step() {

@@ -25,6 +25,22 @@
 
 namespace clover::core {
 
+// Lightweight operator-facing view of a controller's state, for fleet and
+// CLI reporting without friend access (and without copying the history).
+struct ControllerSnapshot {
+  int invocations = 0;
+  double last_invocation_end_s = 0.0;  // 0 before any invocation
+  double last_ci = 0.0;                // CI the last invocation reacted to
+  double last_best_f = 0.0;            // objective of the last winner
+  std::size_t cache_size = 0;          // distinct configurations evaluated
+  std::uint64_t cache_hits = 0;
+  double total_optimization_seconds = 0.0;
+  // The last committed SLA-compliant, capacity-safe configuration (the
+  // fallback anchor); nullopt is never produced — the field is optional
+  // only because ConfigGraph has no default constructor.
+  std::optional<graph::ConfigGraph> last_committed;
+};
+
 // One optimization invocation (for Figs. 12-13).
 struct OptimizationRun {
   int invocation = 0;
@@ -54,6 +70,11 @@ class Controller {
     double capacity_margin = 1.1;
     opt::SimulatedAnnealing::Options sa;
     opt::RandomSearch::Options rs;
+    // Evaluation-cache storage to attach to (nullptr = a private store).
+    // The fleet controller shares one store across same-sized regions so
+    // their searches pool evaluations (see opt::EvalCacheStore for the
+    // serial-use contract that sharing imposes).
+    std::shared_ptr<opt::EvalCacheStore> eval_cache;
     std::uint64_t seed = 1;
   };
 
@@ -71,6 +92,9 @@ class Controller {
   const std::vector<OptimizationRun>& history() const { return history_; }
   double total_optimization_seconds() const { return total_opt_seconds_; }
   std::uint64_t cache_hits() const { return cache_->hits(); }
+
+  // Current state summary (cheap; safe to call at any control boundary).
+  ControllerSnapshot Snapshot() const;
 
  private:
   sim::ClusterSim* sim_;

@@ -26,6 +26,39 @@ double RunReport::P95NormVs(const RunReport& base) const {
   return overall_p95_ms / base.overall_p95_ms;
 }
 
+void FillRunReportFromSim(const sim::ClusterSim& sim,
+                          const opt::ObjectiveParams& params,
+                          double fallback_energy_per_request_j,
+                          RunReport* report) {
+  report->arrivals = sim.total_arrivals();
+  report->completions = sim.total_completions();
+  report->total_energy_j = sim.total_energy_j();
+  report->total_carbon_g = sim.total_carbon_g();
+  report->weighted_accuracy = sim.OverallWeightedAccuracy();
+  report->overall_p50_ms = sim.OverallQuantileMs(0.50);
+  report->overall_p95_ms = sim.OverallP95Ms();
+  report->overall_p99_ms = sim.OverallQuantileMs(0.99);
+  report->sim_events = sim.total_arrivals() + sim.total_completions();
+  report->carbon_per_request_g =
+      report->completions
+          ? report->total_carbon_g / static_cast<double>(report->completions)
+          : 0.0;
+  report->windows = sim.windows();
+  report->objective_series.clear();
+  report->objective_series.reserve(report->windows.size());
+  for (const sim::WindowRecord& window : report->windows) {
+    opt::EvalMetrics metrics;
+    metrics.accuracy = window.weighted_accuracy;
+    metrics.energy_per_request_j =
+        window.completions
+            ? window.energy_j / static_cast<double>(window.completions)
+            : fallback_energy_per_request_j;
+    metrics.p95_ms = window.p95_ms;
+    report->objective_series.push_back(
+        opt::ObjectiveF(metrics, params, window.ci));
+  }
+}
+
 ExperimentHarness::ExperimentHarness(const models::ModelZoo* zoo)
     : zoo_(zoo) {
   CLOVER_CHECK(zoo_ != nullptr);
@@ -168,32 +201,8 @@ RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
   report.scheme = config.scheme;
   report.arrival_rate_qps = calibration.arrival_rate_qps;
   report.params = params;
-  report.arrivals = sim.total_arrivals();
-  report.completions = sim.total_completions();
-  report.total_energy_j = sim.total_energy_j();
-  report.total_carbon_g = sim.total_carbon_g();
-  report.weighted_accuracy = sim.OverallWeightedAccuracy();
-  report.overall_p50_ms = sim.OverallQuantileMs(0.50);
-  report.overall_p95_ms = sim.OverallP95Ms();
-  report.overall_p99_ms = sim.OverallQuantileMs(0.99);
-  report.sim_events = sim.total_arrivals() + sim.total_completions();
-  report.carbon_per_request_g =
-      report.completions
-          ? report.total_carbon_g / static_cast<double>(report.completions)
-          : 0.0;
-  report.windows = sim.windows();
-  report.objective_series.reserve(report.windows.size());
-  for (const sim::WindowRecord& window : report.windows) {
-    opt::EvalMetrics metrics;
-    metrics.accuracy = window.weighted_accuracy;
-    metrics.energy_per_request_j =
-        window.completions
-            ? window.energy_j / static_cast<double>(window.completions)
-            : calibration.energy_per_request_j;
-    metrics.p95_ms = window.p95_ms;
-    report.objective_series.push_back(
-        opt::ObjectiveF(metrics, params, window.ci));
-  }
+  FillRunReportFromSim(sim, params, calibration.energy_per_request_j,
+                       &report);
   if (controller != nullptr) {
     report.optimizations = controller->history();
     report.optimization_seconds = controller->total_optimization_seconds();

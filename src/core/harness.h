@@ -90,6 +90,17 @@ struct RunReport {
   double P95NormVs(const RunReport& base) const;
 };
 
+// Fills the simulator-derived tail of a report — run totals, overall
+// quantiles, per-window series and the objective series
+// (`fallback_energy_per_request_j` stands in for windows that served
+// nothing). Context fields (app/scheme/params/rate) and optimization
+// bookkeeping stay with the caller. Shared by the single-cluster harness
+// and the fleet's per-region reports so the two can never drift.
+void FillRunReportFromSim(const sim::ClusterSim& sim,
+                          const opt::ObjectiveParams& params,
+                          double fallback_energy_per_request_j,
+                          RunReport* report);
+
 // Baseline calibration shared by all schemes of a setting.
 struct BaselineCalibration {
   double arrival_rate_qps = 0.0;

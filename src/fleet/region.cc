@@ -1,0 +1,60 @@
+#include "fleet/region.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/config_graph.h"
+#include "graph/mapping.h"
+
+namespace clover::fleet {
+
+std::uint64_t RegionSeed(std::uint64_t fleet_seed, std::size_t region_index) {
+  // SplitMix64 over (seed, index) — the same derivation discipline as the
+  // named RNG streams: adding a region never perturbs existing ones.
+  std::uint64_t state = fleet_seed + 0x9e3779b97f4a7c15ULL *
+                                         (static_cast<std::uint64_t>(
+                                              region_index) +
+                                          1);
+  return SplitMix64(state);
+}
+
+Region::Region(const RegionConfig& config, const models::ModelZoo* zoo,
+               carbon::CarbonTrace trace, serving::Deployment initial,
+               const sim::SimOptions& sim_options)
+    : config_(config),
+      zoo_(zoo),
+      trace_(std::move(trace)),
+      sim_(std::make_unique<sim::ClusterSim>(std::move(initial), *zoo,
+                                             &trace_, sim_options)),
+      assigned_qps_(sim_options.arrival_rate_qps) {
+  CLOVER_CHECK(zoo_ != nullptr);
+  CLOVER_CHECK_MSG(!config_.preset.name.empty(), "region needs a name");
+  CLOVER_CHECK(config_.num_gpus > 0);
+  CLOVER_CHECK(config_.latency_penalty_ms >= 0.0);
+}
+
+void Region::SetAssignedRate(double qps) {
+  assigned_qps_ = qps;
+  sim_->SetArrivalRate(qps);
+}
+
+double Region::CapacityQps() const {
+  return graph::NominalCapacityQps(
+      graph::ConfigGraph::FromDeployment(sim_->deployment(), *zoo_), *zoo_);
+}
+
+RegionSnapshot Region::Snapshot(double t) const {
+  RegionSnapshot snapshot;
+  snapshot.name = name();
+  snapshot.online = OnlineAt(t);
+  snapshot.ci = trace_.At(t);
+  snapshot.capacity_qps = CapacityQps();
+  snapshot.assigned_qps = assigned_qps_;
+  snapshot.queue_depth = static_cast<double>(sim_->queue_depth());
+  snapshot.latency_penalty_ms = config_.latency_penalty_ms;
+  snapshot.static_weight = config_.static_weight;
+  return snapshot;
+}
+
+}  // namespace clover::fleet

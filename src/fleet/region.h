@@ -1,0 +1,84 @@
+// One regional cluster of the geo-distributed fleet.
+//
+// A Region bundles what the paper's single-cluster pipeline keeps global:
+// a discrete-event cluster simulator, the region's own carbon-intensity
+// trace, its fleet size, and the network latency penalty from the global
+// ingress. The fleet controller steps regions independently (they share no
+// mutable state), and the router decides how much of the global stream each
+// region is offered.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "carbon/trace.h"
+#include "carbon/trace_generator.h"
+#include "fleet/router.h"
+#include "models/zoo.h"
+#include "serving/deployment.h"
+#include "sim/cluster_sim.h"
+
+namespace clover::fleet {
+
+struct RegionConfig {
+  // Trace shape: a named preset (carbon::FindRegionPreset) or a custom one.
+  carbon::RegionPreset preset;
+  int num_gpus = 4;
+  double latency_penalty_ms = 0.0;  // network RTT global ingress -> region
+  double static_weight = 1.0;       // prior for the static split
+  // Scheduled ingress outage [start_s, end_s): the router must route around
+  // the region while its cluster drains in-flight work. end <= start = none.
+  double outage_start_s = 0.0;
+  double outage_end_s = 0.0;
+
+  bool HasOutage() const { return outage_end_s > outage_start_s; }
+};
+
+// Derives the per-region seed from the fleet seed: every region gets
+// statistically independent arrival/jitter/search streams while the fleet
+// run stays reproducible from one number.
+std::uint64_t RegionSeed(std::uint64_t fleet_seed, std::size_t region_index);
+
+// Owns the trace and the simulator (the simulator keeps a pointer into the
+// trace), so regions are pinned to the heap — no copy, no move.
+class Region {
+ public:
+  Region(const RegionConfig& config, const models::ModelZoo* zoo,
+         carbon::CarbonTrace trace, serving::Deployment initial,
+         const sim::SimOptions& sim_options);
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  const std::string& name() const { return config_.preset.name; }
+  const RegionConfig& config() const { return config_; }
+  const carbon::CarbonTrace& trace() const { return trace_; }
+  sim::ClusterSim& sim() { return *sim_; }
+  const sim::ClusterSim& sim() const { return *sim_; }
+  int num_gpus() const { return config_.num_gpus; }
+  double latency_penalty_ms() const { return config_.latency_penalty_ms; }
+
+  bool OnlineAt(double t) const {
+    return !config_.HasOutage() || t < config_.outage_start_s ||
+           t >= config_.outage_end_s;
+  }
+
+  double assigned_qps() const { return assigned_qps_; }
+  // Offers `qps` of the global stream to this region from sim-now onward.
+  void SetAssignedRate(double qps);
+
+  // Nominal capacity of the currently deployed configuration.
+  double CapacityQps() const;
+
+  // Router-visible state at control time `t`.
+  RegionSnapshot Snapshot(double t) const;
+
+ private:
+  RegionConfig config_;
+  const models::ModelZoo* zoo_;
+  carbon::CarbonTrace trace_;
+  std::unique_ptr<sim::ClusterSim> sim_;
+  double assigned_qps_ = 0.0;
+};
+
+}  // namespace clover::fleet

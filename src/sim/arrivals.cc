@@ -1,5 +1,8 @@
 #include "sim/arrivals.h"
 
+#include <cmath>
+#include <limits>
+
 #include "common/check.h"
 #include "common/units.h"
 #include "perf/perf_model.h"
@@ -28,7 +31,28 @@ double PoissonArrivals::NextArrivalTime() {
   return t;
 }
 
+void PoissonArrivals::ResetRate(double qps, double from_t) {
+  CLOVER_CHECK_MSG(qps >= 0.0, "negative arrival rate");
+  rate_qps_ = qps;
+  if (burst_.enabled() && rate_qps_ > 0.0) {
+    // Fast-forward the phase machine over any span the stream was silent
+    // for (the phase process is independent of the arrival draws).
+    while (phase_end_ < from_t) {
+      in_burst_ = !in_burst_;
+      const double mean_s =
+          in_burst_ ? burst_.mean_burst_s : burst_.mean_gap_s;
+      phase_end_ += rng_.NextExponential(1.0 / mean_s);
+    }
+  }
+  next_time_ = AdvanceFrom(from_t);
+}
+
 double PoissonArrivals::AdvanceFrom(double t) {
+  // A silenced stream (rate 0) produces no arrivals and consumes no draws;
+  // an infinite `t` (the pending arrival of a silenced stream) stays
+  // infinite rather than spinning the phase loop.
+  if (rate_qps_ <= 0.0 || !std::isfinite(t))
+    return std::numeric_limits<double>::infinity();
   if (!burst_.enabled()) return t + rng_.NextExponential(rate_qps_);
   for (;;) {
     const double rate =

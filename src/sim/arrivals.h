@@ -36,6 +36,14 @@ class PoissonArrivals {
   // Time of the next arrival at/after the current position.
   double NextArrivalTime();
 
+  // Changes the base rate from `from_t` onward and resamples the pending
+  // arrival from that instant — exact by memorylessness. `from_t` must not
+  // precede arrivals already handed out. `qps` may be 0 to silence the
+  // stream (a fleet region routed out of rotation); a later ResetRate
+  // restores it. Used by the global router to split one workload across
+  // regions with time-varying weights.
+  void ResetRate(double qps, double from_t);
+
   double rate_qps() const { return rate_qps_; }
   const BurstOptions& burst() const { return burst_; }
 

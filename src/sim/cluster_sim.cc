@@ -334,6 +334,13 @@ double ClusterSim::ApplyDeployment(const serving::Deployment& next,
   return ready;
 }
 
+void ClusterSim::SetArrivalRate(double qps) {
+  CLOVER_CHECK_MSG(qps >= 0.0, "negative arrival rate");
+  options_.arrival_rate_qps = qps;
+  arrivals_.ResetRate(qps, now_);
+  pending_arrival_ = arrivals_.NextArrivalTime();
+}
+
 Measurement ClusterSim::Measure(double duration_s) {
   CLOVER_CHECK(duration_s > 0.0);
   probe_acc_.Reset();

@@ -74,6 +74,12 @@ class ClusterSim {
   // Advances by `duration_s` while recording a measurement probe.
   Measurement Measure(double duration_s);
 
+  // Re-routes the offered stream: arrivals after now() are drawn at `qps`
+  // (>= 0; 0 silences the stream until the next call). The fleet router
+  // uses this to split one global workload across regional clusters with
+  // time-varying weights; a plain run never calls it.
+  void SetArrivalRate(double qps);
+
   double now() const { return now_; }
   const serving::Deployment& deployment() const { return deployment_; }
   const SimOptions& options() const { return options_; }
@@ -100,6 +106,12 @@ class ClusterSim {
     return total_completions_
                ? total_accuracy_sum_ / static_cast<double>(total_completions_)
                : 0.0;
+  }
+  // Run-level latency distribution; the fleet layer merges these across
+  // regions (shifted by each region's network penalty) for fleet-wide
+  // quantiles.
+  const LogHistogramQuantile& latency_histogram() const {
+    return overall_latency_;
   }
 
  private:

@@ -51,6 +51,48 @@ TEST(CarbonTrace, CsvRoundTrip) {
   EXPECT_DOUBLE_EQ(trace.At(301.0), 150.0);
 }
 
+TEST(CarbonTrace, ToCsvFromCsvRoundTripsBitExactly) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  TraceGeneratorOptions options;
+  options.duration_hours = 6.0;
+  const CarbonTrace original = GenerateTrace(TraceProfile::kEsoMarch,
+                                             options);
+  original.ToCsv(path);
+  const CarbonTrace reloaded = CarbonTrace::FromCsv("reloaded", path);
+  EXPECT_DOUBLE_EQ(reloaded.sample_interval_s(),
+                   original.sample_interval_s());
+  // to_chars emits shortest-round-trip doubles, so equality is exact.
+  EXPECT_EQ(reloaded.values(), original.values());
+}
+
+TEST(CarbonTrace, FromCsvReportsOffendingLineNumbers) {
+  const std::string path = ::testing::TempDir() + "/malformed.csv";
+  {
+    std::ofstream out(path);
+    out << "seconds,ci\n0,100\n300,oops\n600,120\n";
+  }
+  try {
+    CarbonTrace::FromCsv("bad", path);
+    FAIL() << "malformed row should throw";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+
+  // Non-uniform sampling also names the line that broke the cadence.
+  {
+    std::ofstream out(path);
+    out << "0,100\n300,150\n600,120\n1000,130\n";
+  }
+  try {
+    CarbonTrace::FromCsv("bad", path);
+    FAIL() << "non-uniform sampling should throw";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 4"), std::string::npos)
+        << error.what();
+  }
+}
+
 class ProfileSweep : public ::testing::TestWithParam<TraceProfile> {};
 
 TEST_P(ProfileSweep, FortyEightHourEvaluationShape) {
@@ -118,6 +160,57 @@ TEST(TraceGenerator, CisoMarchHasSolarDuckCurve) {
     }
   }
   EXPECT_LT(midday / midday_n + 50.0, evening / evening_n);
+}
+
+TEST(RegionPresets, NamedTableLookupAndShapes) {
+  ASSERT_GE(NamedRegionPresets().size(), 4u);
+  const RegionPreset* west = FindRegionPreset("us-west");
+  const RegionPreset* antipode = FindRegionPreset("ap-northeast");
+  ASSERT_NE(west, nullptr);
+  ASSERT_NE(antipode, nullptr);
+  EXPECT_EQ(FindRegionPreset("atlantis"), nullptr);
+  EXPECT_EQ(west->profile, antipode->profile);  // same grid shape...
+  EXPECT_DOUBLE_EQ(antipode->phase_shift_hours - west->phase_shift_hours,
+                   12.0);  // ...half a day apart
+
+  TraceGeneratorOptions options;
+  const CarbonTrace a = GenerateRegionTrace(*west, options);
+  const CarbonTrace b = GenerateRegionTrace(*west, options);
+  EXPECT_EQ(a.values(), b.values());  // deterministic per (preset, seed)
+  EXPECT_EQ(a.name(), "us-west");
+}
+
+TEST(RegionPresets, TwelveHourPhaseShiftAntiCorrelatesDiurnalCycle) {
+  // Compare hour-of-day means of the two presets' deterministic harmonics:
+  // us-west dips at midday where ap-northeast is high, and vice versa.
+  // Amplify determinism by averaging 14 days.
+  TraceGeneratorOptions options;
+  options.duration_hours = 14 * 24;
+  const CarbonTrace west =
+      GenerateRegionTrace(*FindRegionPreset("us-west"), options);
+  const CarbonTrace antipode =
+      GenerateRegionTrace(*FindRegionPreset("ap-northeast"), options);
+
+  auto hour_mean = [](const CarbonTrace& trace, double from_h, double to_h) {
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < trace.values().size(); ++i) {
+      const double hour =
+          std::fmod(i * trace.sample_interval_s() / 3600.0, 24.0);
+      if (hour >= from_h && hour < to_h) {
+        sum += trace.values()[i];
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  // Midday (us-west's solar dip) vs the same wall-clock hours on the
+  // antipode (night there: no dip).
+  EXPECT_LT(hour_mean(west, 12.0, 15.0) + 40.0,
+            hour_mean(antipode, 12.0, 15.0));
+  // And the mirror image half a day later.
+  EXPECT_LT(hour_mean(antipode, 0.0, 3.0) + 40.0,
+            hour_mean(west, 0.0, 3.0));
 }
 
 TEST(Monitor, TriggersBeforeFirstAcknowledgement) {

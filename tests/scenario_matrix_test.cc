@@ -168,6 +168,58 @@ TEST(ScenarioServingRuntime, OptimizedDeploymentServesOnRealThreads) {
   EXPECT_GE(stats.p95_latency_ms, stats.mean_latency_ms);
 }
 
+// --- Fleet scenarios: the multi-region routing layer over the same
+// pipeline. Regions run BASE so the assertions isolate the *spatial*
+// policy; fleet_test.cc and the fleet_routing bench cover CLOVER-per-region
+// on the same presets.
+
+// Anti-correlated grids: the carbon-greedy router must beat the static
+// split on gCO2 — there is always a cleaner region to lean on.
+TEST(FleetScenarioMatrix, AntiCorrelatedGreedyBeatsStatic) {
+  const FleetScenario scenario = AntiCorrelatedFleetScenario();
+  const FleetScenarioRun run = RunFleetScenario(scenario);
+  CheckFleetScenarioInvariants(scenario, run);
+}
+
+// Correlated grids: nothing to arbitrage beyond weather noise; the greedy
+// router must not do worse than the static split.
+TEST(FleetScenarioMatrix, CorrelatedGreedyNotWorse) {
+  const FleetScenario scenario = CorrelatedFleetScenario();
+  const FleetScenarioRun run = RunFleetScenario(scenario);
+  CheckFleetScenarioInvariants(scenario, run);
+}
+
+// Region outage: the router routes around the downed region (weight 0
+// while offline, restored afterwards) and the fleet SLO holds throughout.
+TEST(FleetScenarioMatrix, OutageRedistributesAndSloHolds) {
+  const FleetScenario scenario = OutageFleetScenario();
+  const FleetScenarioRun run = RunFleetScenario(scenario);
+  CheckFleetScenarioInvariants(scenario, run);
+
+  const fleet::RegionConfig& outage_region = scenario.config.regions[1];
+  ASSERT_TRUE(outage_region.HasOutage());
+  const double interval = scenario.config.control_interval_s;
+  for (const fleet::FleetReport* report :
+       {&run.greedy, &run.static_split}) {
+    SCOPED_TRACE(report->router_name);
+    bool saw_outage = false, saw_recovery = false;
+    for (std::size_t r = 0; r < report->weight_history.size(); ++r) {
+      // Rebalance r happens at t = r * interval (index 0 = t of 0).
+      const double t = static_cast<double>(r) * interval;
+      const double weight = report->weight_history[r][1];
+      if (t >= outage_region.outage_start_s &&
+          t < outage_region.outage_end_s) {
+        EXPECT_EQ(weight, 0.0) << "rebalance " << r;
+        saw_outage = true;
+      } else if (t >= outage_region.outage_end_s) {
+        saw_recovery = saw_recovery || weight > 0.0;
+      }
+    }
+    EXPECT_TRUE(saw_outage);
+    EXPECT_TRUE(saw_recovery);
+  }
+}
+
 // Unit-level sanity of the new burst modulation: the modulated stream is
 // deterministic per seed, reduces to plain Poisson when disabled, and
 // carries more arrivals per unit time when enabled.

@@ -17,6 +17,7 @@
 
 #include "carbon/trace.h"
 #include "core/harness.h"
+#include "fleet/fleet_sim.h"
 #include "serving/deployment.h"
 #include "testing/trace_fixtures.h"
 
@@ -92,5 +93,45 @@ void CheckScenarioInvariants(const Scenario& scenario, const ScenarioRun& run);
 serving::Deployment FinalCloverDeployment(const core::RunReport& report,
                                           const models::ModelZoo& zoo,
                                           int num_gpus);
+
+// --- Fleet scenarios (multi-region routing) -------------------------------
+//
+// A fleet scenario fixes the regions/load and is executed twice — once
+// under the carbon-greedy router and once under the static split — so the
+// invariants can compare the spatial policy against the operator baseline.
+// The regional scheme is BASE: routing effects are isolated from the
+// optimizer's temporal adaptation (bench_runner's fleet_routing scenario
+// and tests/fleet_test.cc cover the combined CLOVER-per-region pipeline).
+struct FleetScenario {
+  std::string name;
+  fleet::FleetConfig config;  // router field is overridden per run
+  // Carbon-greedy must save at least this much gCO2 vs static (negative
+  // values encode "may not lose more than" for correlated fixtures).
+  double min_greedy_save_pct = 0.0;
+  double min_slo_attainment = 0.90;  // both policies
+};
+
+// Two regions sharing the CISO March profile 12 h out of phase: the
+// anti-correlated setting where spatial arbitrage must pay off.
+FleetScenario AntiCorrelatedFleetScenario();
+// Two regions on the same profile at the same phase (independent weather
+// only): carbon-greedy has almost nothing to arbitrage and must not lose.
+FleetScenario CorrelatedFleetScenario();
+// Three regions with a scheduled mid-run outage of one: the router must
+// route around it and the fleet SLO must hold.
+FleetScenario OutageFleetScenario();
+
+struct FleetScenarioRun {
+  fleet::FleetReport greedy;
+  fleet::FleetReport static_split;
+};
+
+FleetScenarioRun RunFleetScenario(const FleetScenario& scenario);
+
+// Shared fleet invariants (gtest): both policies serve, routed load is
+// conserved at every rebalance, the greedy-vs-static carbon envelope and
+// the SLO attainment floor hold.
+void CheckFleetScenarioInvariants(const FleetScenario& scenario,
+                                  const FleetScenarioRun& run);
 
 }  // namespace clover::testing

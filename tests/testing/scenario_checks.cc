@@ -87,4 +87,41 @@ void CheckScenarioInvariants(const Scenario& scenario,
   }
 }
 
+void CheckFleetScenarioInvariants(const FleetScenario& scenario,
+                                  const FleetScenarioRun& run) {
+  SCOPED_TRACE("fleet scenario: " + scenario.name);
+
+  for (const fleet::FleetReport* report :
+       {&run.greedy, &run.static_split}) {
+    SCOPED_TRACE("router: " + report->router_name);
+    // Every region served and the fleet stream ran to (near) completion.
+    EXPECT_GT(report->fleet.completions, 0u);
+    EXPECT_GE(static_cast<double>(report->fleet.completions),
+              0.98 * static_cast<double>(report->fleet.arrivals));
+    EXPECT_EQ(report->regions.size(), scenario.config.regions.size());
+
+    // Conservation of routed load at every rebalance: weights are
+    // non-negative and sum to 1, and offline regions carry nothing.
+    for (std::size_t r = 0; r < report->weight_history.size(); ++r) {
+      const std::vector<double>& weights = report->weight_history[r];
+      ASSERT_EQ(weights.size(), report->regions.size());
+      double sum = 0.0;
+      for (double w : weights) {
+        EXPECT_GE(w, 0.0);
+        sum += w;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+
+    // SLO: the fleet-wide p95 (network penalty included) within budget and
+    // the per-window attainment above the scenario floor.
+    EXPECT_LE(report->fleet.overall_p95_ms, report->slo_budget_ms);
+    EXPECT_GE(report->slo_attainment, scenario.min_slo_attainment);
+  }
+
+  // The spatial policy's carbon envelope vs the operator baseline.
+  EXPECT_GE(run.greedy.fleet.CarbonSavePctVs(run.static_split.fleet),
+            scenario.min_greedy_save_pct);
+}
+
 }  // namespace clover::testing
