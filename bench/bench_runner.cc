@@ -18,6 +18,11 @@
 //   opt_annealing    same comparison for the graph-space annealer
 //   e2e_step         full trace -> controller -> simulator pipeline on the
 //                    scenario-matrix step-trace fixture (BASE + CLOVER)
+//   fault_recovery   CLOVER riding out an injected GPU fail-stop plus a
+//                    flash crowd (sim/fault_injector.h); reports events/sec
+//                    and the completion ratio, and replays the identical
+//                    schedule to enforce the fault engine's bit-identity
+//                    contract via exit status
 //   fleet_routing    geo-distributed fleet (us-west + ap-northeast, anti-
 //                    correlated carbon): CLOVER per region under the
 //                    carbon-greedy global router vs the static split;
@@ -36,6 +41,7 @@
 #include "common/check.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "common/units.h"
 #include "core/harness.h"
 #include "fleet/fleet_sim.h"
 #include "graph/neighbors.h"
@@ -306,6 +312,55 @@ ScenarioTiming CompareSerialParallel(const std::string& name,
 }
 
 // ---------------------------------------------------------------------------
+// fault_recovery: the verification subsystem's fault engine end to end.
+// ---------------------------------------------------------------------------
+ScenarioTiming RunFaultRecovery(const RunnerFlags& flags,
+                                const SuiteScale& scale,
+                                const carbon::CarbonTrace& trace) {
+  const int gpus = std::min(scale.gpus, 4);
+  core::ExperimentConfig config;
+  config.app = models::Application::kClassification;
+  config.scheme = core::Scheme::kClover;
+  config.trace = &trace;
+  config.duration_hours = scale.e2e_hours;
+  config.num_gpus = gpus;
+  // Sized one GPU short so the mid-run fail-stop lands at the paper's 75%
+  // calibration point instead of tipping the cluster over.
+  config.sizing_gpus = gpus - 1;
+  config.seed = flags.seed;
+  const double third = HoursToSeconds(config.duration_hours) / 3.0;
+  config.faults.gpu_faults.push_back({/*gpu_index=*/0, third, 1.5 * third});
+  config.faults.flash_crowds.push_back({2.0 * third, 2.5 * third, 1.8});
+
+  core::ExperimentHarness harness(&models::DefaultZoo());
+  WallTimer timer;
+  const core::RunReport run = harness.Run(config);
+  const double wall = timer.Seconds();
+  // Identical schedule, identical seed: the fault engine must replay
+  // bit-identically (the determinism gate CI enforces via exit status).
+  const core::RunReport twin = harness.Run(config);
+
+  ScenarioTiming timing;
+  timing.name = "fault_recovery";
+  timing.wall_seconds = wall;
+  timing.events = run.sim_events;
+  timing.events_per_sec =
+      wall > 0.0 ? static_cast<double>(timing.events) / wall : 0.0;
+  timing.sim_p50_ms = run.overall_p50_ms;
+  timing.sim_p99_ms = run.overall_p99_ms;
+  timing.deterministic = core::RunReportsBitIdentical(run, twin);
+  const double completion_pct =
+      run.arrivals ? 100.0 * static_cast<double>(run.completions) /
+                         static_cast<double>(run.arrivals)
+                   : 0.0;
+  timing.notes = std::to_string(gpus) +
+                 " GPUs, 1 fail-stop + 1.8x flash crowd over " +
+                 TextTable::Num(config.duration_hours, 1) + " h; served " +
+                 TextTable::Num(completion_pct, 2) + "% of arrivals";
+  return timing;
+}
+
+// ---------------------------------------------------------------------------
 // fleet_routing: spatial carbon arbitrage across anti-correlated regions.
 // ---------------------------------------------------------------------------
 fleet::FleetConfig MakeFleetConfig(const RunnerFlags& flags,
@@ -420,6 +475,20 @@ int main(int argc, char** argv) {
     suite.scenarios.push_back(timing);
   }
 #endif
+
+  {
+    // Step trace: the fault windows land on moving carbon, so CLOVER keeps
+    // optimizing through the failure.
+    const carbon::CarbonTrace step = clover::carbon::CarbonTrace(
+        "bench-step", 3600.0,
+        [] {
+          std::vector<double> values(48);
+          for (std::size_t i = 0; i < values.size(); ++i)
+            values[i] = (i / 2) % 2 == 0 ? 120.0 : 320.0;
+          return values;
+        }());
+    suite.scenarios.push_back(bench::RunFaultRecovery(flags, scale, step));
+  }
 
   suite.scenarios.push_back(bench::RunFleetRouting(flags, scale));
 

@@ -18,6 +18,14 @@
 // `--gpus` then sizes each region, `--scheme` picks the per-region scheme
 // (base/blover/clover), and the report covers the whole fleet plus one row
 // per region, including each regional controller's snapshot.
+//
+// Oracle mode answers "what should this configuration do in steady state"
+// from the closed-form M/M/c math (sim/analytic.h) without simulating:
+//
+//   clover_cli --mmc RHO [--app A] [--gpus N] [--mmc-k K]
+//
+// using the application's BASE per-GPU service rate; `--mmc-k` adds the
+// bounded-queue (M/M/c/K) variant with its blocking probability.
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -27,8 +35,12 @@
 #include "carbon/trace_generator.h"
 #include "common/csv.h"
 #include "common/table.h"
+#include "common/units.h"
 #include "core/harness.h"
 #include "fleet/fleet_sim.h"
+#include "mig/slice_type.h"
+#include "perf/perf_model.h"
+#include "sim/analytic.h"
 
 namespace {
 
@@ -47,6 +59,10 @@ using namespace clover;
       << "  --limit PCT        enforce max accuracy loss (threshold mode)\n"
       << "  --seed S           RNG seed (default 1)\n"
       << "  --csv FILE         dump per-window series\n"
+      << "oracle mode:\n"
+      << "  --mmc RHO          print the closed-form M/M/c steady state for\n"
+      << "                     --gpus BASE servers at utilization RHO\n"
+      << "  --mmc-k K          add the bounded-queue M/M/c/K variant\n"
       << "fleet mode:\n"
       << "  --fleet            serve one workload across regional clusters\n"
       << "  --regions A,B,...  named region presets (default "
@@ -96,6 +112,55 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
     start = comma + 1;
   }
   return items;
+}
+
+int RunMmcOracleMode(models::Application app, int gpus, double rho,
+                     std::optional<int> capacity) {
+  const models::ModelFamily& family =
+      models::DefaultZoo().ForApplication(app);
+  sim::analytic::MmcConfig mmc;
+  mmc.servers = gpus;
+  mmc.service_rate = 1.0 / MsToSeconds(perf::PerfModel::LatencyMs(
+                               family, family.Largest(), mig::SliceType::k7g));
+  mmc.arrival_rate = rho * gpus * mmc.service_rate;
+  const sim::analytic::MmcMetrics metrics = sim::analytic::AnalyzeMmc(mmc);
+
+  TextTable table({"metric", "value"});
+  table.AddRow({"servers (BASE GPUs)", std::to_string(gpus)});
+  table.AddRow({"service rate / server", TextTable::Num(mmc.service_rate, 2) +
+                                             " qps"});
+  table.AddRow({"arrival rate", TextTable::Num(mmc.arrival_rate, 2) + " qps"});
+  table.AddRow({"utilization", TextTable::Num(metrics.utilization, 4)});
+  table.AddRow({"P(wait) [Erlang C]",
+                TextTable::Num(metrics.wait_probability, 4)});
+  table.AddRow({"mean wait", TextTable::Num(
+                                 SecondsToMs(metrics.mean_wait_s), 3) +
+                                 " ms"});
+  table.AddRow({"mean sojourn", TextTable::Num(
+                                    SecondsToMs(metrics.mean_sojourn_s), 3) +
+                                    " ms"});
+  table.AddRow({"p95 wait", TextTable::Num(
+                                SecondsToMs(sim::analytic::MmcWaitQuantile(
+                                    mmc, 0.95)),
+                                3) +
+                                " ms"});
+  table.AddRow({"mean queue length",
+                TextTable::Num(metrics.mean_queue_length, 3)});
+  table.AddRow({"mean in system", TextTable::Num(metrics.mean_in_system, 3)});
+  if (capacity.has_value()) {
+    const sim::analytic::MmcKMetrics bounded =
+        sim::analytic::AnalyzeMmcK(mmc, *capacity);
+    table.AddRow({"M/M/c/K capacity", std::to_string(*capacity)});
+    table.AddRow({"P(block)", TextTable::Num(bounded.blocking_probability,
+                                             6)});
+    table.AddRow({"carried rate", TextTable::Num(bounded.carried_rate, 2) +
+                                      " qps"});
+    table.AddRow({"bounded mean wait",
+                  TextTable::Num(SecondsToMs(bounded.mean_wait_s), 3) +
+                      " ms"});
+  }
+  table.Print(std::cout);
+  return 0;
 }
 
 int RunFleetMode(const core::ExperimentConfig& config,
@@ -169,6 +234,8 @@ int main(int argc, char** argv) {
   bool fleet_mode = false;
   bool trace_explicit = false;
   bool fleet_flags_used = false;
+  std::optional<double> mmc_rho;
+  std::optional<int> mmc_capacity;
   std::string fleet_regions = "us-west,ap-northeast";
   std::string fleet_router = "carbon-greedy";
   int fleet_threads = 1;
@@ -201,6 +268,10 @@ int main(int argc, char** argv) {
       config.seed = std::stoull(next());
     } else if (arg == "--csv") {
       out_csv = next();
+    } else if (arg == "--mmc") {
+      mmc_rho = std::stod(next());
+    } else if (arg == "--mmc-k") {
+      mmc_capacity = std::stoi(next());
     } else if (arg == "--fleet") {
       fleet_mode = true;
     } else if (arg == "--regions") {
@@ -223,6 +294,25 @@ int main(int argc, char** argv) {
   if (!fleet_mode && fleet_flags_used) {
     std::cerr << "--regions/--router/--threads require --fleet\n";
     Usage(argv[0]);
+  }
+
+  if (mmc_capacity.has_value() && !mmc_rho.has_value()) {
+    std::cerr << "--mmc-k requires --mmc\n";
+    Usage(argv[0]);
+  }
+  if (mmc_rho.has_value()) {
+    if (fleet_mode) {
+      std::cerr << "--mmc is a closed-form query; it does not combine with "
+                   "--fleet\n";
+      Usage(argv[0]);
+    }
+    if (*mmc_rho <= 0.0 || *mmc_rho >= 1.0) {
+      std::cerr << "--mmc needs 0 < RHO < 1 (the unbounded queue is only "
+                   "stable below saturation)\n";
+      Usage(argv[0]);
+    }
+    return RunMmcOracleMode(config.app, config.num_gpus, *mmc_rho,
+                            mmc_capacity);
   }
 
   if (fleet_mode) {

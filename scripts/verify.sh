@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure -> build -> ctest, the loop CI runs on every
 # push. Usage: scripts/verify.sh [build-dir] (default: build).
+#
+# Set CLOVER_SKIP_SANITIZE=1 to skip the second (ASan+UBSan Debug) build,
+# e.g. for a quick inner-loop run; CI always runs it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,10 +14,19 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Perf baseline: the bench_runner_smoke ctest above already ran the smoke
-# suite (fleet_routing included) and wrote its JSON; validate the schema
-# and the required scenarios (mirrors the CI step).
+# suite (fleet_routing + fault_recovery included) and wrote its JSON;
+# validate the schema and the required scenarios (mirrors the CI step).
 if command -v python3 >/dev/null; then
   python3 scripts/validate_bench_json.py \
     --require-scenario fleet_routing \
+    --require-scenario fault_recovery \
     "$BUILD_DIR"/bench/bench_smoke_out/BENCH_smoke.json
+fi
+
+# ASan + UBSan sweep of the unit suite (mirrors the CI sanitize job).
+if [[ "${CLOVER_SKIP_SANITIZE:-}" != 1 ]]; then
+  cmake -B "$BUILD_DIR-asan" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCLOVER_SANITIZE=ON
+  cmake --build "$BUILD_DIR-asan" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR-asan" -L unit --output-on-failure -j "$(nproc)"
 fi

@@ -19,7 +19,8 @@ CarbonTrace::CarbonTrace(std::string name, double sample_interval_s,
   CLOVER_CHECK(sample_interval_s_ > 0.0);
   CLOVER_CHECK_MSG(!values_.empty(), "trace " << name_ << " is empty");
   for (double v : values_)
-    CLOVER_CHECK_MSG(v >= 0.0, "negative carbon intensity in " << name_);
+    CLOVER_CHECK_MSG(std::isfinite(v) && v >= 0.0,
+                     "negative or non-finite carbon intensity in " << name_);
 }
 
 double CarbonTrace::At(double t_seconds) const {
@@ -81,6 +82,35 @@ void CarbonTrace::ToCsv(const std::string& path) const {
   CLOVER_CHECK_MSG(out.good(), "failed writing trace csv " << path);
 }
 
+namespace {
+
+// Strict field-to-double parse: trims surrounding spaces/tabs and a
+// trailing CR (CRLF files), then requires the whole remainder to be one
+// finite number — "250abc" or "nan" must be a diagnosed malformed row, not
+// a silently truncated or poisonous sample (std::stod alone accepts both).
+bool ParseCsvNumber(std::string field, double* out) {
+  while (!field.empty() && (field.back() == '\r' || field.back() == ' ' ||
+                            field.back() == '\t'))
+    field.pop_back();
+  std::size_t begin = 0;
+  while (begin < field.size() &&
+         (field[begin] == ' ' || field[begin] == '\t'))
+    ++begin;
+  field.erase(0, begin);
+  if (field.empty()) return false;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(field, &consumed);
+    if (consumed != field.size() || !std::isfinite(value)) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
 CarbonTrace CarbonTrace::FromCsv(const std::string& name,
                                  const std::string& path) {
   std::ifstream in(path);
@@ -93,19 +123,17 @@ CarbonTrace CarbonTrace::FromCsv(const std::string& name,
   bool header_seen = false;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty()) continue;
+    if (line.empty() || line == "\r") continue;
     std::istringstream row(line);
-    std::string t_str, v_str;
-    bool parsed = std::getline(row, t_str, ',') &&
-                  std::getline(row, v_str, ',');
+    std::string t_str, v_str, extra;
     double t = 0.0, v = 0.0;
-    if (parsed) {
-      try {
-        t = std::stod(t_str);
-        v = std::stod(v_str);
-      } catch (const std::exception&) {
-        parsed = false;
-      }
+    bool parsed = std::getline(row, t_str, ',') &&
+                  std::getline(row, v_str, ',') &&
+                  !std::getline(row, extra, ',') &&  // exactly two fields
+                  ParseCsvNumber(t_str, &t) && ParseCsvNumber(v_str, &v);
+    if (parsed && v < 0.0) {
+      CLOVER_CHECK_MSG(false, "trace csv " << path << " line " << line_number
+                                           << ": negative intensity " << v);
     }
     if (!parsed) {
       // At most one non-numeric line is tolerated, before any sample (the

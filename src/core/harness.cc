@@ -59,6 +59,18 @@ void FillRunReportFromSim(const sim::ClusterSim& sim,
   }
 }
 
+bool RunReportsBitIdentical(const RunReport& a, const RunReport& b) {
+  return a.arrivals == b.arrivals && a.completions == b.completions &&
+         a.total_energy_j == b.total_energy_j &&
+         a.total_carbon_g == b.total_carbon_g &&
+         a.weighted_accuracy == b.weighted_accuracy &&
+         a.overall_p50_ms == b.overall_p50_ms &&
+         a.overall_p95_ms == b.overall_p95_ms &&
+         a.overall_p99_ms == b.overall_p99_ms &&
+         a.optimizations.size() == b.optimizations.size() &&
+         a.objective_series == b.objective_series;
+}
+
 ExperimentHarness::ExperimentHarness(const models::ModelZoo* zoo)
     : zoo_(zoo) {
   CLOVER_CHECK(zoo_ != nullptr);
@@ -121,6 +133,16 @@ Oracle& ExperimentHarness::OracleFor(models::Application app, int num_gpus,
 RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
   CLOVER_CHECK(config.trace != nullptr);
   const auto wall_start = std::chrono::steady_clock::now();
+  // Carbon-feed dropouts are repaired up front (last observation carried
+  // forward, sim/fault_injector.h): the controller, accountant and oracle
+  // all see the held reading, the way a production deployment would.
+  std::optional<carbon::CarbonTrace> repaired_trace;
+  const carbon::CarbonTrace* trace = config.trace;
+  if (!config.faults.trace_dropouts.empty()) {
+    repaired_trace = sim::ApplyTraceDropouts(*config.trace,
+                                             config.faults.trace_dropouts);
+    trace = &*repaired_trace;
+  }
   const BaselineCalibration& calibration =
       Calibrate(config.app, config.sizing_gpus, config.utilization_target,
                 config.arrival_rate_qps, config.seed);
@@ -144,8 +166,7 @@ RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
     oracle = &OracleFor(config.app, config.num_gpus,
                         calibration.arrival_rate_qps, config.seed);
     graph::GraphMapper mapper(zoo_, config.num_gpus);
-    const OracleEntry& entry =
-        oracle->Select(params, config.trace->At(0.0));
+    const OracleEntry& entry = oracle->Select(params, trace->At(0.0));
     const auto deployment = mapper.ToDeployment(entry.graph);
     CLOVER_CHECK(deployment.has_value());
     initial = *deployment;
@@ -156,18 +177,18 @@ RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
   sim_options.window_seconds = config.control_interval_s;
   sim_options.seed = config.seed;
   sim_options.burst = config.burst;
-  sim::ClusterSim sim(initial, *zoo_, config.trace, sim_options);
+  sim_options.faults = config.faults;
+  sim::ClusterSim sim(initial, *zoo_, trace, sim_options);
 
   std::unique_ptr<Controller> controller;
   if (config.scheme == Scheme::kClover || config.scheme == Scheme::kBlover) {
     Controller::Options controller_options = config.controller;
     controller_options.scheme = config.scheme;
     controller_options.seed = config.seed;
-    controller = std::make_unique<Controller>(&sim, zoo_, config.trace,
-                                              params, controller_options);
+    controller = std::make_unique<Controller>(&sim, zoo_, trace, params,
+                                              controller_options);
   }
-  carbon::CarbonMonitor oracle_monitor(config.trace,
-                                       config.controller.ci_trigger);
+  carbon::CarbonMonitor oracle_monitor(trace, config.controller.ci_trigger);
   graph::GraphMapper oracle_mapper(zoo_, config.num_gpus);
   const mig::RepartitionCostModel kFreeReconfig{0.0, 0.0, 0.0};
   if (config.scheme == Scheme::kOracle)

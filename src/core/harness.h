@@ -38,6 +38,12 @@ struct ExperimentConfig {
   // Calibration always runs steady: the SLA is defined on the steady
   // baseline, so bursts show up as SLO pressure, not a relaxed target.
   sim::BurstOptions burst;
+  // Fault schedule replayed against the run (sim/fault_injector.h): GPU
+  // fail-stop windows and flash crowds go to the simulator; carbon-trace
+  // dropouts are repaired (last observation carried forward) before the
+  // pipeline sees the trace. Calibration stays fault-free for the same
+  // reason it stays steady.
+  sim::FaultSchedule faults;
   double lambda = 0.5;                     // objective weight (paper default)
   std::optional<double> accuracy_limit_pct;  // threshold mode (Fig. 14)
   double ci_base = 250.0;  // reference intensity for C_base
@@ -100,6 +106,12 @@ void FillRunReportFromSim(const sim::ClusterSim& sim,
                           const opt::ObjectiveParams& params,
                           double fallback_energy_per_request_j,
                           RunReport* report);
+
+// Bit-identity predicate over the simulator-derived report fields (counters,
+// totals, quantiles, objective series, optimization count). The determinism
+// contract for repeated runs of one configuration; shared by the fleet's
+// cross-thread-count check and bench_runner's fault_recovery twin.
+bool RunReportsBitIdentical(const RunReport& a, const RunReport& b);
 
 // Baseline calibration shared by all schemes of a setting.
 struct BaselineCalibration {

@@ -97,9 +97,18 @@ FleetReport RunFleet(const FleetConfig& config, const models::ModelZoo& zoo) {
         total_qps / static_cast<double>(config.regions.size());
     sim_options.window_seconds = config.control_interval_s;
     sim_options.seed = RegionSeed(config.seed, i);
+    // Region-local faults: the simulator replays GPU fail-stops and flash
+    // crowds; carbon-feed dropouts are repaired into the trace here (LOCF,
+    // sim/fault_injector.h) so the whole regional pipeline sees the held
+    // reading; RTT spikes are consumed by Region::LatencyPenaltyAt.
+    sim_options.faults = region_config.faults;
+    carbon::CarbonTrace trace =
+        carbon::GenerateRegionTrace(region_config.preset, trace_options);
+    if (!region_config.faults.trace_dropouts.empty())
+      trace = sim::ApplyTraceDropouts(trace,
+                                      region_config.faults.trace_dropouts);
     regions.push_back(std::make_unique<Region>(
-        region_config, &zoo,
-        carbon::GenerateRegionTrace(region_config.preset, trace_options),
+        region_config, &zoo, std::move(trace),
         serving::MakeBase(config.app, region_config.num_gpus), sim_options));
   }
 
@@ -220,7 +229,12 @@ FleetReport RunFleet(const FleetConfig& config, const models::ModelZoo& zoo) {
     for (std::size_t i = 0; i < regions.size(); ++i) {
       const sim::WindowRecord& region_window =
           fleet_report.regions[i].report.windows[w];
-      const double penalty = fleet_report.regions[i].latency_penalty_ms;
+      // Penalty as of this window's start: an active RTT spike shifts the
+      // window's latency contribution (the run-level merged histogram keeps
+      // the base penalty — spikes are windowed events, run quantiles are a
+      // whole-run summary).
+      const double penalty =
+          regions[i]->LatencyPenaltyAt(region_window.start_s);
       window.start_s = region_window.start_s;
       window.duration_s = region_window.duration_s;
       window.arrivals += region_window.arrivals;
@@ -292,22 +306,12 @@ bool FleetReportsBitIdentical(const FleetReport& a, const FleetReport& b) {
   if (a.regions.size() != b.regions.size()) return false;
   if (a.weight_history != b.weight_history) return false;
   if (a.slo_attainment != b.slo_attainment) return false;
-  auto reports_equal = [](const core::RunReport& x, const core::RunReport& y) {
-    return x.arrivals == y.arrivals && x.completions == y.completions &&
-           x.total_energy_j == y.total_energy_j &&
-           x.total_carbon_g == y.total_carbon_g &&
-           x.weighted_accuracy == y.weighted_accuracy &&
-           x.overall_p50_ms == y.overall_p50_ms &&
-           x.overall_p95_ms == y.overall_p95_ms &&
-           x.overall_p99_ms == y.overall_p99_ms &&
-           x.optimizations.size() == y.optimizations.size() &&
-           x.objective_series == y.objective_series;
-  };
-  if (!reports_equal(a.fleet, b.fleet)) return false;
+  if (!core::RunReportsBitIdentical(a.fleet, b.fleet)) return false;
   for (std::size_t i = 0; i < a.regions.size(); ++i) {
     if (a.regions[i].name != b.regions[i].name) return false;
     if (a.regions[i].mean_weight != b.regions[i].mean_weight) return false;
-    if (!reports_equal(a.regions[i].report, b.regions[i].report))
+    if (!core::RunReportsBitIdentical(a.regions[i].report,
+                                      b.regions[i].report))
       return false;
   }
   return true;

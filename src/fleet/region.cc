@@ -44,15 +44,23 @@ double Region::CapacityQps() const {
       graph::ConfigGraph::FromDeployment(sim_->deployment(), *zoo_), *zoo_);
 }
 
+double Region::LatencyPenaltyAt(double t) const {
+  return sim::RttPenaltyAt(config_.faults.rtt_spikes,
+                           config_.latency_penalty_ms, t);
+}
+
 RegionSnapshot Region::Snapshot(double t) const {
   RegionSnapshot snapshot;
   snapshot.name = name();
   snapshot.online = OnlineAt(t);
   snapshot.ci = trace_.At(t);
-  snapshot.capacity_qps = CapacityQps();
+  // Nominal capacity derated by active GPU fail-stops, so the router
+  // reroutes around a partially failed region instead of filling it to a
+  // margin its surviving GPUs cannot serve.
+  snapshot.capacity_qps = CapacityQps() * sim_->OnlineGpuFraction();
   snapshot.assigned_qps = assigned_qps_;
   snapshot.queue_depth = static_cast<double>(sim_->queue_depth());
-  snapshot.latency_penalty_ms = config_.latency_penalty_ms;
+  snapshot.latency_penalty_ms = LatencyPenaltyAt(t);
   snapshot.static_weight = config_.static_weight;
   return snapshot;
 }

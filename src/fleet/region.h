@@ -31,6 +31,12 @@ struct RegionConfig {
   // the region while its cluster drains in-flight work. end <= start = none.
   double outage_start_s = 0.0;
   double outage_end_s = 0.0;
+  // Region-local fault schedule (sim/fault_injector.h): GPU fail-stops and
+  // flash crowds replay inside the region's simulator; trace dropouts are
+  // repaired into the region's trace before construction; RTT spikes raise
+  // the ingress penalty the router (and the per-window fleet latency
+  // aggregation) sees while active. Composes with the scheduled outage.
+  sim::FaultSchedule faults;
 
   bool HasOutage() const { return outage_end_s > outage_start_s; }
 };
@@ -57,6 +63,8 @@ class Region {
   const sim::ClusterSim& sim() const { return *sim_; }
   int num_gpus() const { return config_.num_gpus; }
   double latency_penalty_ms() const { return config_.latency_penalty_ms; }
+  // Base penalty plus any RTT spike active at `t`.
+  double LatencyPenaltyAt(double t) const;
 
   bool OnlineAt(double t) const {
     return !config_.HasOutage() || t < config_.outage_start_s ||

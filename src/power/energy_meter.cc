@@ -13,6 +13,11 @@ void EnergyMeter::AddBusy(double busy_seconds, double dynamic_watts) {
   pending_dynamic_joules_ += busy_seconds * dynamic_watts;
 }
 
+void EnergyMeter::RefundBusy(double busy_seconds, double dynamic_watts) {
+  CLOVER_DCHECK(busy_seconds >= 0.0 && dynamic_watts >= 0.0);
+  pending_dynamic_joules_ -= busy_seconds * dynamic_watts;
+}
+
 double EnergyMeter::DrainWindowJoules(double window_seconds) {
   CLOVER_CHECK(window_seconds >= 0.0);
   const double joules =

@@ -24,6 +24,13 @@ class EnergyMeter {
   // `dynamic_watts` (from PowerModel::DynamicWatts at deploy time).
   void AddBusy(double busy_seconds, double dynamic_watts);
 
+  // Takes back energy a cancelled service will never draw (the simulator
+  // credits the full span at dispatch; a fail-stop mid-service refunds the
+  // unserved remainder). May drive the pending window total slightly
+  // negative when the cancelled span was credited to an earlier window —
+  // the static floor dominates in practice.
+  void RefundBusy(double busy_seconds, double dynamic_watts);
+
   // Energy of the whole cluster over a window of `window_seconds`, joules
   // (IT energy; PUE is applied at carbon-accounting time). Consumes and
   // resets the accumulated busy energy.

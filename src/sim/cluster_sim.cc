@@ -26,6 +26,8 @@ ClusterSim::ClusterSim(serving::Deployment initial,
       accountant_(trace, options.pue) {
   deployment_.Validate(zoo);
   CLOVER_CHECK(options_.window_seconds > 0.0);
+  base_rate_qps_ = options_.arrival_rate_qps;
+  BuildFaultTransitions();
   // One completion event per busy instance plus a few wake events is the
   // queue's whole steady-state population; reserving once here keeps the
   // event loop allocation-free.
@@ -34,6 +36,42 @@ ClusterSim::ClusterSim(serving::Deployment initial,
                  std::vector<double>(
                      static_cast<std::size_t>(deployment_.NumGpus()), 0.0));
   pending_arrival_ = arrivals_.NextArrivalTime();
+}
+
+void ClusterSim::BuildFaultTransitions() {
+  options_.faults.Validate();
+  for (const GpuFault& fault : options_.faults.gpu_faults) {
+    CLOVER_CHECK_MSG(fault.gpu_index < deployment_.NumGpus(),
+                     "gpu fault names gpu " << fault.gpu_index
+                                            << " of a "
+                                            << deployment_.NumGpus()
+                                            << "-gpu cluster");
+    fault_transitions_.push_back({fault.start_s,
+                                  FaultTransition::Kind::kGpuDown,
+                                  fault.gpu_index, 1.0});
+    fault_transitions_.push_back({fault.end_s, FaultTransition::Kind::kGpuUp,
+                                  fault.gpu_index, 1.0});
+  }
+  for (const FlashCrowd& crowd : options_.faults.flash_crowds) {
+    fault_transitions_.push_back({crowd.start_s,
+                                  FaultTransition::Kind::kCrowdOn, 0,
+                                  crowd.rate_multiplier});
+    fault_transitions_.push_back({crowd.end_s,
+                                  FaultTransition::Kind::kCrowdOff, 0,
+                                  crowd.rate_multiplier});
+  }
+  if (fault_transitions_.empty()) return;
+  // Deterministic order: time, then recoveries/crowd-offs before new
+  // failures at the same instant (a zero-gap recover->fail sequence on one
+  // GPU must pass through the recovered state), then GPU index.
+  std::sort(fault_transitions_.begin(), fault_transitions_.end(),
+            [](const FaultTransition& a, const FaultTransition& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind)
+                return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+              return a.gpu_index < b.gpu_index;
+            });
+  gpu_fault_depth_.assign(static_cast<std::size_t>(deployment_.NumGpus()), 0);
 }
 
 void ClusterSim::BuildInstances(const serving::Deployment& deployment,
@@ -94,7 +132,8 @@ void ClusterSim::RefreshAvailability() {
   avail_[0] = avail_[1] = 0;
   for (std::size_t p = 0; p < dispatch_order_.size(); ++p) {
     const SimInstance& instance = instances_[dispatch_order_[p]];
-    if (!instance.busy && !instance.draining && instance.online_at <= now_)
+    if (!instance.busy && !instance.draining && instance.online_at <= now_ &&
+        !GpuFaulted(instance.gpu_index))
       SetAvailable(p);
   }
 }
@@ -114,9 +153,15 @@ void ClusterSim::ClearAvailable(std::size_t position) {
 }
 
 double ClusterSim::NextEventTime() const {
-  double t = pending_arrival_;
+  double t = std::min(pending_arrival_, NextFaultTime());
   if (!events_.Empty()) t = std::min(t, events_.Top().time);
   return t;
+}
+
+double ClusterSim::NextFaultTime() const {
+  return next_fault_ < fault_transitions_.size()
+             ? fault_transitions_[next_fault_].time
+             : std::numeric_limits<double>::infinity();
 }
 
 void ClusterSim::AdvanceTo(double t) {
@@ -142,6 +187,12 @@ void ClusterSim::ProcessOneEvent() {
   const double next_completion =
       events_.Empty() ? std::numeric_limits<double>::infinity()
                       : events_.Top().time;
+  const double next_fault = NextFaultTime();
+  if (next_fault <= pending_arrival_ && next_fault <= next_completion) {
+    now_ = next_fault;
+    ApplyFaultTransition(fault_transitions_[next_fault_++]);
+    return;
+  }
   if (pending_arrival_ <= next_completion) {
     const double t = pending_arrival_;
     pending_arrival_ = arrivals_.NextArrivalTime();
@@ -192,6 +243,12 @@ void ClusterSim::HandleArrival(double t) {
 void ClusterSim::HandleCompletion(const Event& event) {
   const std::int32_t index =
       id_to_index_[static_cast<std::size_t>(event.instance_id)];
+  if (index < 0 && cancelled_completions_ > 0) {
+    // Stale completion of a service a GPU fault aborted: the request was
+    // already retried at the failure instant; the event is a husk.
+    --cancelled_completions_;
+    return;
+  }
   CLOVER_CHECK_MSG(index >= 0, "completion for retired instance");
   SimInstance& instance = instances_[static_cast<std::size_t>(index)];
   CLOVER_DCHECK(instance.busy);
@@ -237,19 +294,36 @@ void ClusterSim::StartService(std::size_t position, double enqueue_time) {
   const std::size_t index = dispatch_order_[position];
   SimInstance& instance = instances_[index];
   CLOVER_DCHECK(!instance.busy && !instance.draining);
+  CLOVER_DCHECK(!GpuFaulted(instance.gpu_index));
   ClearAvailable(position);
   instance.busy = true;
 
-  // Truncated multiplicative jitter: inputs vary (image content, sequence
-  // length) but service time never goes negative or explodes.
-  const double sigma = options_.service_jitter_sigma;
-  double jitter = 1.0 + sigma * jitter_rng_.NextGaussian();
-  jitter = std::clamp(jitter, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma);
-  const double service_s = MsToSeconds(instance.base_service_ms * jitter);
+  double service_s;
+  if (options_.service_model == ServiceModel::kExponential) {
+    // Exponential service: a uniform fleet is an exact M/M/c queue, the
+    // configuration the analytic oracles (sim/analytic.h) describe.
+    service_s =
+        jitter_rng_.NextExponential(1.0 / MsToSeconds(instance.base_service_ms));
+  } else {
+    // Truncated multiplicative jitter: inputs vary (image content, sequence
+    // length) but service time never goes negative or explodes.
+    const double sigma = options_.service_jitter_sigma;
+    double jitter = 1.0 + sigma * jitter_rng_.NextGaussian();
+    jitter = std::clamp(jitter, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma);
+    service_s = MsToSeconds(instance.base_service_ms * jitter);
+  }
+
+  const double wait_s = now_ - enqueue_time;
+  total_wait_s_ += wait_s;
+  ++total_starts_;
+  if (wait_s > 0.0) ++total_waited_;
+  total_busy_s_ += service_s;
 
   meter_.AddBusy(service_s, instance.dynamic_watts);
   if (probe_active_) probe_dynamic_j_ += service_s * instance.dynamic_watts;
 
+  instance.service_enqueue_time = enqueue_time;
+  instance.service_end_s = now_ + service_s;
   events_.Push(Event{now_ + service_s, instance.id, enqueue_time});
 }
 
@@ -337,8 +411,121 @@ double ClusterSim::ApplyDeployment(const serving::Deployment& next,
 void ClusterSim::SetArrivalRate(double qps) {
   CLOVER_CHECK_MSG(qps >= 0.0, "negative arrival rate");
   options_.arrival_rate_qps = qps;
-  arrivals_.ResetRate(qps, now_);
+  base_rate_qps_ = qps;
+  ApplyEffectiveArrivalRate();
+}
+
+void ClusterSim::ApplyEffectiveArrivalRate() {
+  // Recomputed from the active set every time (rather than multiplied /
+  // divided incrementally) so repeated crowds cannot accumulate rounding
+  // drift: the rate outside every window is exactly base_rate_qps_.
+  double multiplier = 1.0;
+  for (double m : active_crowds_) multiplier *= m;
+  arrivals_.ResetRate(base_rate_qps_ * multiplier, now_);
   pending_arrival_ = arrivals_.NextArrivalTime();
+}
+
+void ClusterSim::ApplyFaultTransition(const FaultTransition& transition) {
+  switch (transition.kind) {
+    case FaultTransition::Kind::kGpuDown: {
+      const auto gpu = static_cast<std::size_t>(transition.gpu_index);
+      if (++gpu_fault_depth_[gpu] == 1) FailGpu(transition.gpu_index);
+      break;
+    }
+    case FaultTransition::Kind::kGpuUp: {
+      const auto gpu = static_cast<std::size_t>(transition.gpu_index);
+      CLOVER_CHECK_MSG(gpu_fault_depth_[gpu] > 0,
+                       "recovery without matching failure");
+      if (--gpu_fault_depth_[gpu] == 0) RecoverGpu(transition.gpu_index);
+      break;
+    }
+    case FaultTransition::Kind::kCrowdOn:
+      active_crowds_.push_back(transition.multiplier);
+      ApplyEffectiveArrivalRate();
+      break;
+    case FaultTransition::Kind::kCrowdOff: {
+      // Remove one matching multiplier (schedules may nest crowds).
+      for (std::size_t i = 0; i < active_crowds_.size(); ++i) {
+        if (active_crowds_[i] == transition.multiplier) {
+          active_crowds_.erase(active_crowds_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      ApplyEffectiveArrivalRate();
+      break;
+    }
+  }
+}
+
+void ClusterSim::FailGpu(int gpu_index) {
+  // Fail-stop: every instance on the GPU leaves the dispatch pool at once.
+  // In-flight requests are lost and retried — back to the head of the FIFO
+  // (they are the oldest waiters, re-inserted in enqueue order) with their
+  // original enqueue times, so the retry is visible as queueing delay. The
+  // aborted service's unspent energy (failure instant -> planned
+  // completion) is refunded; work performed up to the failure stays
+  // billed. The instance's id is retired so the stale completion event
+  // still in the heap is swallowed when it fires.
+  std::vector<double> retried;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    SimInstance& instance = instances_[i];
+    if (instance.gpu_index != gpu_index) continue;
+    ClearAvailable(index_to_position_[i]);
+    if (!instance.busy) continue;
+    instance.busy = false;
+    retried.push_back(instance.service_enqueue_time);
+    const double unserved_s = instance.service_end_s - now_;
+    meter_.RefundBusy(unserved_s, instance.dynamic_watts);
+    if (probe_active_) probe_dynamic_j_ -= unserved_s * instance.dynamic_watts;
+    total_busy_s_ -= unserved_s;
+    ++cancelled_completions_;
+    const std::int32_t retired_id = instance.id;
+    instance.id = next_id_++;
+    id_to_index_.resize(static_cast<std::size_t>(next_id_), -1);
+    id_to_index_[static_cast<std::size_t>(retired_id)] = -1;
+    id_to_index_[static_cast<std::size_t>(instance.id)] =
+        static_cast<std::int32_t>(i);
+  }
+  // Newest first, so the oldest enqueue time ends up at the queue head and
+  // FIFO order is preserved across the retry.
+  std::sort(retried.begin(), retried.end(),
+            [](double a, double b) { return a > b; });
+  for (double enqueue_time : retried) queue_.push_front(enqueue_time);
+  // The survivors pick the backlog up immediately: without this dispatch
+  // the queue would starve until the next completion/wake even with idle
+  // capacity elsewhere.
+  TryDispatchQueue();
+}
+
+void ClusterSim::RecoverGpu(int gpu_index) {
+  (void)gpu_index;
+  // Recovered instances rejoin the pool (unless still draining, mid-load,
+  // or on another active fault) and the backlog drains into them.
+  RefreshAvailability();
+  TryDispatchQueue();
+}
+
+int ClusterSim::num_busy_instances() const {
+  int busy = 0;
+  for (const SimInstance& instance : instances_)
+    if (instance.busy) ++busy;
+  return busy;
+}
+
+int ClusterSim::num_failed_gpus() const {
+  int failed = 0;
+  for (int depth : gpu_fault_depth_)
+    if (depth > 0) ++failed;
+  return failed;
+}
+
+double ClusterSim::OnlineGpuFraction() const {
+  const int total = deployment_.NumGpus();
+  return total > 0
+             ? static_cast<double>(total - num_failed_gpus()) /
+                   static_cast<double>(total)
+             : 1.0;
 }
 
 Measurement ClusterSim::Measure(double duration_s) {

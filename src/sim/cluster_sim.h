@@ -31,9 +31,22 @@
 #include "serving/reconfig_planner.h"
 #include "sim/arrivals.h"
 #include "sim/event_queue.h"
+#include "sim/fault_injector.h"
 #include "sim/metrics.h"
 
 namespace clover::sim {
+
+// Service-time model per request.
+enum class ServiceModel {
+  // Truncated multiplicative Gaussian jitter around the perf-model latency
+  // (the default; matches the paper's testbed variability).
+  kJittered,
+  // Exponential with the perf-model latency as mean. A uniform deployment
+  // under this model is exactly an M/M/c queue, which is what lets
+  // tests/sim_differential_test.cc check the simulator against the
+  // closed-form oracles in sim/analytic.h.
+  kExponential,
+};
 
 struct SimOptions {
   double arrival_rate_qps = 100.0;
@@ -42,6 +55,13 @@ struct SimOptions {
   double service_jitter_sigma = perf::kServiceJitterSigma;
   double pue = perf::kPue;
   BurstOptions burst;  // default: steady Poisson arrivals
+  ServiceModel service_model = ServiceModel::kJittered;
+  // Adversarial events replayed during the run (sim/fault_injector.h).
+  // ClusterSim consumes gpu_faults and flash_crowds; trace dropouts and RTT
+  // spikes are applied by the harness/fleet layers before construction. An
+  // empty schedule (the default) leaves the run bit-identical to a build
+  // without fault support.
+  FaultSchedule faults;
 };
 
 // Aggregate measured over a probe interval (one optimizer evaluation).
@@ -94,6 +114,23 @@ class ClusterSim {
   std::uint64_t total_arrivals() const { return total_arrivals_; }
   std::uint64_t total_completions() const { return total_completions_; }
   double total_accuracy_sum() const { return total_accuracy_sum_; }
+  // Differential-verification taps (sim/analytic.h): busy time credited at
+  // dispatch (utilization = busy / (instances * span)), queueing delay and
+  // the count of requests that had to wait, both credited at service start.
+  double total_busy_seconds() const { return total_busy_s_; }
+  double total_wait_seconds() const { return total_wait_s_; }
+  std::uint64_t total_service_starts() const { return total_starts_; }
+  std::uint64_t total_waited() const { return total_waited_; }
+  // Fault-injection state: fraction of GPUs outside an active fault window
+  // (1.0 when no fault is in force). The fleet layer derates a region's
+  // nominal capacity by this factor so the router reroutes around partial
+  // failures.
+  int num_failed_gpus() const;
+  double OnlineGpuFraction() const;
+  // Instances currently serving a request. With queue_depth() this closes
+  // the conservation identity the fault tests assert:
+  // arrivals == completions + queue_depth + busy instances.
+  int num_busy_instances() const;
   double total_energy_j() const { return accountant_.total_it_joules(); }
   double total_carbon_g() const { return accountant_.total_grams(); }
   double OverallP95Ms() const { return overall_latency_.Quantile(0.95); }
@@ -124,6 +161,19 @@ class ClusterSim {
     double online_at = 0.0;
     bool busy = false;
     bool draining = false;  // excluded from dispatch during reconfiguration
+    // In-flight request bookkeeping, needed to retry and refund the request
+    // when the hosting GPU fail-stops mid-service.
+    double service_enqueue_time = 0.0;
+    double service_end_s = 0.0;
+  };
+
+  // One edge of a fault window (sim/fault_injector.h), pre-sorted by time.
+  struct FaultTransition {
+    double time = 0.0;
+    enum class Kind : std::uint8_t { kGpuDown, kGpuUp, kCrowdOn, kCrowdOff };
+    Kind kind = Kind::kGpuDown;
+    int gpu_index = 0;          // kGpuDown / kGpuUp
+    double multiplier = 1.0;    // kCrowdOn / kCrowdOff
   };
 
   static constexpr std::size_t kMaxInstances = 128;
@@ -142,6 +192,19 @@ class ClusterSim {
   void HandleWake(double t);
   void StartService(std::size_t position, double enqueue_time);
   void TryDispatchQueue();
+
+  // Fault machinery (no-ops when options_.faults is empty).
+  void BuildFaultTransitions();
+  double NextFaultTime() const;
+  void ApplyFaultTransition(const FaultTransition& transition);
+  void FailGpu(int gpu_index);
+  void RecoverGpu(int gpu_index);
+  // Re-applies base rate x active flash-crowd multipliers from now().
+  void ApplyEffectiveArrivalRate();
+  bool GpuFaulted(int gpu_index) const {
+    return !gpu_fault_depth_.empty() &&
+           gpu_fault_depth_[static_cast<std::size_t>(gpu_index)] > 0;
+  }
 
   // Availability bitmask over dispatch positions.
   bool AnyAvailable() const { return (avail_[0] | avail_[1]) != 0; }
@@ -167,6 +230,15 @@ class ClusterSim {
   double pending_arrival_ = 0.0;
   RngStream jitter_rng_;
 
+  // Fault state. `base_rate_qps_` is the rate the owner asked for (initial
+  // or SetArrivalRate); the arrival process runs at base x crowd multiplier.
+  std::vector<FaultTransition> fault_transitions_;
+  std::size_t next_fault_ = 0;
+  std::vector<int> gpu_fault_depth_;  // active fault windows per GPU
+  std::vector<double> active_crowds_;  // multipliers currently in force
+  double base_rate_qps_ = 0.0;
+  std::uint64_t cancelled_completions_ = 0;  // stale events to swallow
+
   double now_ = 0.0;
   double window_start_ = 0.0;
   WindowAccumulator window_acc_;
@@ -177,6 +249,10 @@ class ClusterSim {
   std::uint64_t total_arrivals_ = 0;
   std::uint64_t total_completions_ = 0;
   double total_accuracy_sum_ = 0.0;
+  double total_busy_s_ = 0.0;
+  double total_wait_s_ = 0.0;
+  std::uint64_t total_starts_ = 0;
+  std::uint64_t total_waited_ = 0;
   LogHistogramQuantile overall_latency_;
 
   bool probe_active_ = false;

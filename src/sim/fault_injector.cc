@@ -1,0 +1,161 @@
+#include "sim/fault_injector.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace clover::sim {
+namespace {
+
+void ValidateWindow(double start_s, double end_s, const char* what) {
+  CLOVER_CHECK_MSG(start_s >= 0.0, what << " window starts before t=0");
+  CLOVER_CHECK_MSG(end_s > start_s,
+                   what << " window is empty ([" << start_s << ", " << end_s
+                        << "))");
+}
+
+// Renewal-process window draws shared by all four categories: starts are
+// separated by Exp(rate) gaps, durations are Exp(mean), both clipped to the
+// horizon. `emit` receives each [start, end) window.
+template <typename Emit>
+void DrawWindows(RngStream& rng, double duration_s, double per_hour,
+                 double mean_window_s, Emit&& emit) {
+  if (per_hour <= 0.0 || duration_s <= 0.0) return;
+  const double rate_per_s = per_hour / 3600.0;
+  double t = rng.NextExponential(rate_per_s);
+  while (t < duration_s) {
+    const double window_s = rng.NextExponential(1.0 / mean_window_s);
+    const double end = std::min(t + window_s, duration_s);
+    if (end > t) emit(t, end);
+    t = end + rng.NextExponential(rate_per_s);
+  }
+}
+
+}  // namespace
+
+void FaultSchedule::Validate() const {
+  for (const GpuFault& fault : gpu_faults) {
+    ValidateWindow(fault.start_s, fault.end_s, "gpu fault");
+    CLOVER_CHECK_MSG(fault.gpu_index >= 0, "negative gpu index");
+  }
+  for (const FlashCrowd& crowd : flash_crowds) {
+    ValidateWindow(crowd.start_s, crowd.end_s, "flash crowd");
+    CLOVER_CHECK_MSG(crowd.rate_multiplier > 1.0,
+                     "flash crowd multiplier must be > 1, got "
+                         << crowd.rate_multiplier);
+  }
+  for (const TraceDropout& dropout : trace_dropouts)
+    ValidateWindow(dropout.start_s, dropout.end_s, "trace dropout");
+  for (const RttSpike& spike : rtt_spikes) {
+    ValidateWindow(spike.start_s, spike.end_s, "rtt spike");
+    CLOVER_CHECK_MSG(spike.added_ms >= 0.0, "negative rtt spike");
+  }
+}
+
+FaultSchedule GenerateFaultSchedule(const FaultProfile& profile,
+                                    std::uint64_t seed) {
+  CLOVER_CHECK_MSG(profile.duration_s >= 0.0, "negative fault horizon");
+  CLOVER_CHECK_MSG(profile.num_gpus >= 1, "fault profile needs >= 1 gpu");
+  FaultSchedule schedule;
+
+  RngStream gpu_rng(seed, "fault-gpu");
+  DrawWindows(gpu_rng, profile.duration_s, profile.gpu_faults_per_hour,
+              profile.mean_gpu_outage_s, [&](double start, double end) {
+                GpuFault fault;
+                fault.gpu_index = static_cast<int>(gpu_rng.NextBounded(
+                    static_cast<std::uint64_t>(profile.num_gpus)));
+                fault.start_s = start;
+                fault.end_s = end;
+                schedule.gpu_faults.push_back(fault);
+              });
+
+  RngStream crowd_rng(seed, "fault-flash-crowd");
+  DrawWindows(crowd_rng, profile.duration_s, profile.flash_crowds_per_hour,
+              profile.mean_flash_crowd_s, [&](double start, double end) {
+                FlashCrowd crowd;
+                crowd.start_s = start;
+                crowd.end_s = end;
+                crowd.rate_multiplier = profile.flash_crowd_multiplier;
+                schedule.flash_crowds.push_back(crowd);
+              });
+
+  RngStream dropout_rng(seed, "fault-trace-dropout");
+  DrawWindows(dropout_rng, profile.duration_s,
+              profile.trace_dropouts_per_hour, profile.mean_trace_dropout_s,
+              [&](double start, double end) {
+                schedule.trace_dropouts.push_back(TraceDropout{start, end});
+              });
+
+  RngStream rtt_rng(seed, "fault-rtt-spike");
+  DrawWindows(rtt_rng, profile.duration_s, profile.rtt_spikes_per_hour,
+              profile.mean_rtt_spike_s, [&](double start, double end) {
+                RttSpike spike;
+                spike.start_s = start;
+                spike.end_s = end;
+                spike.added_ms = profile.rtt_spike_ms;
+                schedule.rtt_spikes.push_back(spike);
+              });
+
+  schedule.Validate();
+  return schedule;
+}
+
+std::vector<double> CorruptTraceValues(
+    const carbon::CarbonTrace& trace,
+    const std::vector<TraceDropout>& dropouts) {
+  std::vector<double> values = trace.values();
+  for (const TraceDropout& dropout : dropouts) {
+    ValidateWindow(dropout.start_s, dropout.end_s, "trace dropout");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double t = static_cast<double>(i) * trace.sample_interval_s();
+      if (t >= dropout.start_s && t < dropout.end_s)
+        values[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return values;
+}
+
+std::vector<double> RepairTraceValues(std::vector<double> values) {
+  auto valid = [](double v) { return std::isfinite(v) && v >= 0.0; };
+  std::size_t first_valid = values.size();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (valid(values[i])) {
+      first_valid = i;
+      break;
+    }
+  }
+  CLOVER_CHECK_MSG(first_valid < values.size(),
+                   "trace has no valid sample to repair from");
+  // Backfill the missing prefix, then carry the last observation forward.
+  for (std::size_t i = 0; i < first_valid; ++i)
+    values[i] = values[first_valid];
+  double last = values[first_valid];
+  for (std::size_t i = first_valid; i < values.size(); ++i) {
+    if (valid(values[i])) {
+      last = values[i];
+    } else {
+      values[i] = last;
+    }
+  }
+  return values;
+}
+
+carbon::CarbonTrace ApplyTraceDropouts(
+    const carbon::CarbonTrace& trace,
+    const std::vector<TraceDropout>& dropouts) {
+  return carbon::CarbonTrace(
+      trace.name(), trace.sample_interval_s(),
+      RepairTraceValues(CorruptTraceValues(trace, dropouts)));
+}
+
+double RttPenaltyAt(const std::vector<RttSpike>& spikes, double base_ms,
+                    double t) {
+  double penalty = base_ms;
+  for (const RttSpike& spike : spikes)
+    if (t >= spike.start_s && t < spike.end_s) penalty += spike.added_ms;
+  return penalty;
+}
+
+}  // namespace clover::sim

@@ -1,0 +1,142 @@
+// Deterministic fault injection for the simulator and the fleet.
+//
+// A FaultSchedule is a fixed, validated list of adversarial events that the
+// verification layer replays against a run:
+//
+//   * GpuFault      — a GPU (all slices hosted on it) fail-stops for a
+//                     window and recovers. In-flight requests on the failing
+//                     GPU are lost and retried: they re-enter the head of
+//                     the FIFO queue at the failure instant with their
+//                     original enqueue time, so the retry shows up as tail
+//                     latency exactly as it would in production. The energy
+//                     the aborted service would have drawn after the
+//                     failure instant is refunded (work actually performed
+//                     up to the failure is still billed).
+//   * FlashCrowd    — the offered arrival rate is multiplied by
+//                     `rate_multiplier` for a window (a traffic spike the
+//                     sizing rule did not provision for). Composes with
+//                     the Markov-modulated BurstOptions and with the fleet
+//                     router's time-varying splits: the multiplier applies
+//                     on top of whatever base rate is in force.
+//   * TraceDropout  — the carbon-intensity feed goes dark for a window
+//                     (grid-operator API outage). Repair policy (documented
+//                     contract): samples inside the window are treated as
+//                     missing and repaired by last-observation-carried-
+//                     forward; a gap at the very start backfills from the
+//                     first valid sample. The whole pipeline (controller,
+//                     accountant) sees the repaired trace — exactly what a
+//                     production deployment holding its last reading does.
+//   * RttSpike      — the network penalty from the global ingress to a
+//                     fleet region rises by `added_ms` for a window. The
+//                     router sees the spike in its snapshots (and may route
+//                     around a region that no longer fits the SLO budget);
+//                     per-window fleet latency aggregation applies the
+//                     spiked penalty. Ignored by a single-cluster run.
+//
+// Schedules are plain data: replaying the same schedule against the same
+// seed is bit-identical, on any thread count (regions process their own
+// schedules independently; nothing here draws randomness at run time).
+// GenerateFaultSchedule derives a schedule *from* a seed for property-based
+// tests — generation is seeded, replay is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "carbon/trace.h"
+
+namespace clover::sim {
+
+struct GpuFault {
+  int gpu_index = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;  // recovery instant; must be > start_s
+};
+
+struct FlashCrowd {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double rate_multiplier = 2.0;  // > 1; overlapping crowds multiply
+};
+
+struct TraceDropout {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct RttSpike {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double added_ms = 0.0;  // >= 0; overlapping spikes add
+};
+
+struct FaultSchedule {
+  std::vector<GpuFault> gpu_faults;
+  std::vector<FlashCrowd> flash_crowds;
+  std::vector<TraceDropout> trace_dropouts;
+  std::vector<RttSpike> rtt_spikes;  // fleet-level; ClusterSim ignores these
+
+  bool Empty() const {
+    return gpu_faults.empty() && flash_crowds.empty() &&
+           trace_dropouts.empty() && rtt_spikes.empty();
+  }
+
+  // Throws CheckError on malformed windows (end <= start, negative start,
+  // multipliers <= 1, negative spike). GPU indices are validated by the
+  // consumer, which knows the fleet size.
+  void Validate() const;
+};
+
+// Expected-rate knobs for the seeded schedule generator. Within each
+// category, windows form a renewal process (next start = previous end +
+// Exp(rate)), so generated windows never overlap within a category.
+struct FaultProfile {
+  double duration_s = 0.0;  // horizon faults are drawn over
+  int num_gpus = 1;         // gpu_index range for GpuFaults
+
+  double gpu_faults_per_hour = 0.0;
+  double mean_gpu_outage_s = 900.0;
+
+  double flash_crowds_per_hour = 0.0;
+  double mean_flash_crowd_s = 300.0;
+  double flash_crowd_multiplier = 2.5;
+
+  double trace_dropouts_per_hour = 0.0;
+  double mean_trace_dropout_s = 1800.0;
+
+  double rtt_spikes_per_hour = 0.0;
+  double mean_rtt_spike_s = 300.0;
+  double rtt_spike_ms = 60.0;
+};
+
+// Draws a schedule from named RNG streams derived from `seed`: the same
+// (profile, seed) always yields the same schedule, and the four categories
+// are statistically independent (changing one rate never perturbs the
+// others' draws).
+FaultSchedule GenerateFaultSchedule(const FaultProfile& profile,
+                                    std::uint64_t seed);
+
+// Marks every sample whose timestamp falls in a dropout window as missing
+// (quiet NaN). The inverse of RepairTraceValues; split out so tests can
+// exercise the repair policy on raw corrupted data.
+std::vector<double> CorruptTraceValues(
+    const carbon::CarbonTrace& trace,
+    const std::vector<TraceDropout>& dropouts);
+
+// Last-observation-carried-forward repair: non-finite or negative entries
+// take the most recent valid value; a missing prefix backfills from the
+// first valid sample. Throws when no valid sample exists.
+std::vector<double> RepairTraceValues(std::vector<double> values);
+
+// Corrupt + repair in one step: the trace the pipeline should run against
+// when the CI feed drops out over `dropouts`. Without dropouts this is an
+// exact copy.
+carbon::CarbonTrace ApplyTraceDropouts(
+    const carbon::CarbonTrace& trace,
+    const std::vector<TraceDropout>& dropouts);
+
+// Ingress->region penalty at time `t`: base plus every active spike.
+double RttPenaltyAt(const std::vector<RttSpike>& spikes, double base_ms,
+                    double t);
+
+}  // namespace clover::sim

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
+#include <vector>
 
 #include "carbon/accountant.h"
 #include "carbon/monitor.h"
@@ -91,6 +93,118 @@ TEST(CarbonTrace, FromCsvReportsOffendingLineNumbers) {
     EXPECT_NE(std::string(error.what()).find("line 4"), std::string::npos)
         << error.what();
   }
+}
+
+TEST(CarbonTrace, FromCsvHandlesCrlfAndTrailingNewlines) {
+  const std::string path = ::testing::TempDir() + "/crlf.csv";
+  {
+    // CRLF line endings (a spreadsheet export) plus trailing blank lines.
+    std::ofstream out(path, std::ios::binary);
+    out << "seconds,ci\r\n0,100\r\n300,150\r\n600,120\r\n\r\n\n";
+  }
+  const CarbonTrace trace = CarbonTrace::FromCsv("crlf", path);
+  EXPECT_DOUBLE_EQ(trace.sample_interval_s(), 300.0);
+  const std::vector<double> expected = {100.0, 150.0, 120.0};
+  EXPECT_EQ(trace.values(), expected);
+
+  // Fields padded with spaces still parse strictly.
+  {
+    std::ofstream out(path);
+    out << "0, 100\n300 ,150\n600,\t120\n";
+  }
+  EXPECT_EQ(CarbonTrace::FromCsv("padded", path).values(), expected);
+}
+
+TEST(CarbonTrace, FromCsvRejectsTrailingGarbageAndExtraColumns) {
+  const std::string path = ::testing::TempDir() + "/garbage.csv";
+  // std::stod would silently truncate "150abc" to 150; the strict parser
+  // must diagnose the row instead.
+  {
+    std::ofstream out(path);
+    out << "0,100\n300,150abc\n600,120\n";
+  }
+  try {
+    CarbonTrace::FromCsv("bad", path);
+    FAIL() << "trailing garbage should throw";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+
+  // A third column is a malformed row, not an ignored one.
+  {
+    std::ofstream out(path);
+    out << "0,100\n300,150,999\n";
+  }
+  EXPECT_THROW(CarbonTrace::FromCsv("bad", path), CheckError);
+}
+
+TEST(CarbonTrace, FromCsvRejectsNonFiniteAndNegativeSamples) {
+  const std::string path = ::testing::TempDir() + "/poison.csv";
+  // "nan" parses as a double but would poison every carbon total
+  // downstream; the loader must reject it at the offending line. (The
+  // fault-injection layer repairs NaN dropouts explicitly —
+  // sim::RepairTraceValues — before a trace is constructed.)
+  {
+    std::ofstream out(path);
+    out << "0,100\n300,nan\n600,120\n";
+  }
+  try {
+    CarbonTrace::FromCsv("bad", path);
+    FAIL() << "nan sample should throw";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+  {
+    std::ofstream out(path);
+    out << "0,100\n300,inf\n";
+  }
+  EXPECT_THROW(CarbonTrace::FromCsv("bad", path), CheckError);
+  {
+    std::ofstream out(path);
+    out << "0,100\n300,-5\n600,120\n";
+  }
+  try {
+    CarbonTrace::FromCsv("bad", path);
+    FAIL() << "negative sample should throw";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CarbonTrace, FromCsvRejectsSecondHeaderAndTooFewSamples) {
+  const std::string path = ::testing::TempDir() + "/short.csv";
+  // Only one non-numeric line (the header) is tolerated; a second one mid-
+  // file is a malformed row with a line number.
+  {
+    std::ofstream out(path);
+    out << "seconds,ci\n0,100\nseconds,ci\n300,150\n";
+  }
+  try {
+    CarbonTrace::FromCsv("bad", path);
+    FAIL() << "second header should throw";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+
+  // One sample cannot define an interval.
+  {
+    std::ofstream out(path);
+    out << "seconds,ci\n0,100\n";
+  }
+  EXPECT_THROW(CarbonTrace::FromCsv("bad", path), CheckError);
+}
+
+TEST(CarbonTrace, ConstructorRejectsNonFiniteValues) {
+  EXPECT_THROW(CarbonTrace("t", 100.0,
+                           {1.0, std::numeric_limits<double>::quiet_NaN()}),
+               CheckError);
+  EXPECT_THROW(CarbonTrace("t", 100.0,
+                           {1.0, std::numeric_limits<double>::infinity()}),
+               CheckError);
 }
 
 class ProfileSweep : public ::testing::TestWithParam<TraceProfile> {};

@@ -1,0 +1,493 @@
+// Fault scenarios in the scenario matrix (sim/fault_injector.h): GPU
+// fail-stop windows, flash crowds and carbon-feed dropouts replayed through
+// the full pipeline, with invariants on bounded SLO degradation, recovery
+// to steady state, request conservation, determinism, and — at fleet level
+// — rerouting around an injected regional fault while SLO attainment holds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "core/harness.h"
+#include "fleet/fleet_sim.h"
+#include "models/zoo.h"
+#include "sim/arrivals.h"
+#include "sim/cluster_sim.h"
+#include "sim/fault_injector.h"
+#include "testing/proptest.h"
+#include "testing/scenario.h"
+#include "testing/trace_fixtures.h"
+
+namespace clover {
+namespace {
+
+using testing::Scenario;
+
+// Median per-window p95 over windows with completions in [from_s, to_s).
+double MedianWindowP95(const std::vector<sim::WindowRecord>& windows,
+                       double from_s, double to_s) {
+  std::vector<double> p95s;
+  for (const sim::WindowRecord& window : windows)
+    if (window.start_s >= from_s && window.start_s < to_s &&
+        window.completions > 0)
+      p95s.push_back(window.p95_ms);
+  CLOVER_CHECK_MSG(!p95s.empty(), "no served windows in ["
+                                      << from_s << ", " << to_s << ")");
+  std::sort(p95s.begin(), p95s.end());
+  return p95s[p95s.size() / 2];
+}
+
+double CompletionRatio(const core::RunReport& report) {
+  return report.arrivals
+             ? static_cast<double>(report.completions) /
+                   static_cast<double>(report.arrivals)
+             : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injector unit behavior.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, ScheduleValidationCatchesMalformedWindows) {
+  sim::FaultSchedule schedule;
+  schedule.gpu_faults.push_back({0, 100.0, 100.0});  // empty window
+  EXPECT_THROW(schedule.Validate(), CheckError);
+  schedule.gpu_faults.clear();
+  schedule.flash_crowds.push_back({0.0, 60.0, 0.5});  // lull, not a crowd
+  EXPECT_THROW(schedule.Validate(), CheckError);
+  schedule.flash_crowds.clear();
+  schedule.rtt_spikes.push_back({0.0, 60.0, -5.0});
+  EXPECT_THROW(schedule.Validate(), CheckError);
+}
+
+TEST(FaultInjector, GeneratorIsSeededAndCategoryIndependent) {
+  sim::FaultProfile profile;
+  profile.duration_s = HoursToSeconds(24.0);
+  profile.num_gpus = 8;
+  profile.gpu_faults_per_hour = 0.5;
+  profile.flash_crowds_per_hour = 0.5;
+  profile.trace_dropouts_per_hour = 0.2;
+  profile.rtt_spikes_per_hour = 1.0;
+
+  const sim::FaultSchedule a = sim::GenerateFaultSchedule(profile, 7);
+  const sim::FaultSchedule b = sim::GenerateFaultSchedule(profile, 7);
+  EXPECT_EQ(a.gpu_faults.size(), b.gpu_faults.size());
+  for (std::size_t i = 0; i < a.gpu_faults.size(); ++i) {
+    EXPECT_EQ(a.gpu_faults[i].gpu_index, b.gpu_faults[i].gpu_index);
+    EXPECT_EQ(a.gpu_faults[i].start_s, b.gpu_faults[i].start_s);
+    EXPECT_EQ(a.gpu_faults[i].end_s, b.gpu_faults[i].end_s);
+  }
+  EXPECT_FALSE(a.Empty());
+
+  // Zeroing one category's rate must not perturb the others (independent
+  // named streams).
+  sim::FaultProfile no_crowds = profile;
+  no_crowds.flash_crowds_per_hour = 0.0;
+  const sim::FaultSchedule c = sim::GenerateFaultSchedule(no_crowds, 7);
+  EXPECT_TRUE(c.flash_crowds.empty());
+  ASSERT_EQ(c.gpu_faults.size(), a.gpu_faults.size());
+  for (std::size_t i = 0; i < a.gpu_faults.size(); ++i)
+    EXPECT_EQ(c.gpu_faults[i].start_s, a.gpu_faults[i].start_s);
+
+  // Windows within a category never overlap (renewal construction).
+  for (std::size_t i = 1; i < a.rtt_spikes.size(); ++i)
+    EXPECT_GE(a.rtt_spikes[i].start_s, a.rtt_spikes[i - 1].end_s);
+}
+
+TEST(FaultInjector, TraceDropoutRepairCarriesLastObservationForward) {
+  const carbon::CarbonTrace trace("t", 100.0,
+                                  {10.0, 20.0, 30.0, 40.0, 50.0});
+  // Window [150, 350) knocks out samples at t=200 and t=300.
+  const std::vector<sim::TraceDropout> dropouts = {{150.0, 350.0}};
+  const std::vector<double> corrupted =
+      sim::CorruptTraceValues(trace, dropouts);
+  EXPECT_TRUE(std::isnan(corrupted[2]));
+  EXPECT_TRUE(std::isnan(corrupted[3]));
+  EXPECT_DOUBLE_EQ(corrupted[1], 20.0);
+
+  const carbon::CarbonTrace repaired =
+      sim::ApplyTraceDropouts(trace, dropouts);
+  const std::vector<double> expected = {10.0, 20.0, 20.0, 20.0, 50.0};
+  EXPECT_EQ(repaired.values(), expected);
+
+  // A gap at the start backfills from the first valid sample.
+  const carbon::CarbonTrace leading =
+      sim::ApplyTraceDropouts(trace, {{0.0, 250.0}});
+  const std::vector<double> expected_leading = {40.0, 40.0, 40.0, 40.0,
+                                                50.0};
+  EXPECT_EQ(leading.values(), expected_leading);
+
+  // No valid sample at all is unrepairable.
+  EXPECT_THROW(
+      sim::RepairTraceValues(std::vector<double>(
+          3, std::numeric_limits<double>::quiet_NaN())),
+      CheckError);
+}
+
+TEST(FaultInjector, RttPenaltyAddsActiveSpikes) {
+  const std::vector<sim::RttSpike> spikes = {{100.0, 200.0, 30.0},
+                                             {150.0, 250.0, 10.0}};
+  EXPECT_DOUBLE_EQ(sim::RttPenaltyAt(spikes, 5.0, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(sim::RttPenaltyAt(spikes, 5.0, 120.0), 35.0);
+  EXPECT_DOUBLE_EQ(sim::RttPenaltyAt(spikes, 5.0, 180.0), 45.0);
+  EXPECT_DOUBLE_EQ(sim::RttPenaltyAt(spikes, 5.0, 220.0), 15.0);
+  EXPECT_DOUBLE_EQ(sim::RttPenaltyAt(spikes, 5.0, 300.0), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Single-cluster fault scenarios through the scenario-matrix runner.
+// ---------------------------------------------------------------------------
+
+// One GPU of four fail-stops for an hour. The arrival rate is sized for 3
+// GPUs at the paper's 75% point, so the healthy cluster runs light
+// (~56%) and the degraded cluster sits exactly at the calibration point —
+// stressed but stable.
+Scenario GpuOutageScenario() {
+  Scenario scenario;
+  scenario.name = "fault_gpu_outage";
+  scenario.trace = testing::TraceKind::kCisoMarch;
+  scenario.duration_hours = 6.0;
+  scenario.num_gpus = 4;
+  scenario.sizing_gpus = 3;
+  scenario.seed = 11;
+  scenario.faults.gpu_faults.push_back(
+      {/*gpu_index=*/1, HoursToSeconds(2.0), HoursToSeconds(3.0)});
+  return scenario;
+}
+
+// The offered rate doubles for 40 minutes on a cluster sized at 2-of-4
+// GPUs (37.5% steady): the crowd pushes it to the 75% calibration point.
+Scenario FlashCrowdScenario() {
+  Scenario scenario;
+  scenario.name = "fault_flash_crowd";
+  scenario.trace = testing::TraceKind::kStep;
+  scenario.duration_hours = 6.0;
+  scenario.num_gpus = 4;
+  scenario.sizing_gpus = 2;
+  scenario.seed = 13;
+  scenario.faults.flash_crowds.push_back(
+      {HoursToSeconds(2.0), HoursToSeconds(2.0) + MinutesToSeconds(40.0),
+       2.0});
+  return scenario;
+}
+
+struct FaultPhases {
+  double fault_start_s = 0.0;
+  double fault_end_s = 0.0;
+};
+
+// Shared invariants: every request eventually served, degradation during
+// the fault stays within `degraded_bound` x the pre-fault steady median,
+// and the post-recovery tail returns to `recovered_bound` x steady.
+void CheckFaultInvariants(const Scenario& scenario, const FaultPhases& phases,
+                          const core::RunReport& report,
+                          double degraded_bound, double recovered_bound) {
+  SCOPED_TRACE(scenario.name + " scheme " +
+               std::string(core::SchemeName(report.scheme)));
+  EXPECT_GE(CompletionRatio(report), 0.97);
+
+  const double steady_p95 =
+      MedianWindowP95(report.windows, 0.0, phases.fault_start_s);
+  const double degraded_p95 = MedianWindowP95(
+      report.windows, phases.fault_start_s, phases.fault_end_s);
+  // One settle window after recovery before judging steady state again.
+  const double recovered_from = phases.fault_end_s + 600.0;
+  const double recovered_p95 = MedianWindowP95(
+      report.windows, recovered_from, HoursToSeconds(scenario.duration_hours));
+
+  EXPECT_GT(steady_p95, 0.0);
+  EXPECT_LE(degraded_p95, degraded_bound * steady_p95)
+      << "degraded p95 " << degraded_p95 << " ms vs steady " << steady_p95
+      << " ms";
+  EXPECT_LE(recovered_p95, recovered_bound * steady_p95)
+      << "recovered p95 " << recovered_p95 << " ms vs steady " << steady_p95
+      << " ms";
+}
+
+TEST(FaultMatrix, GpuOutageDegradesBoundedAndRecovers) {
+  const Scenario scenario = GpuOutageScenario();
+  const carbon::CarbonTrace trace = testing::MakeScenarioTrace(scenario);
+  core::ExperimentHarness harness(&models::DefaultZoo());
+  const testing::ScenarioRun run =
+      testing::RunScenario(harness, scenario, trace);
+  const FaultPhases phases = {scenario.faults.gpu_faults[0].start_s,
+                              scenario.faults.gpu_faults[0].end_s};
+  // Losing 1 of 4 GPUs moves utilization ~0.56 -> 0.75: the tail grows but
+  // must stay within an order of magnitude of steady, and fully recover.
+  CheckFaultInvariants(scenario, phases, run.base, /*degraded_bound=*/8.0,
+                       /*recovered_bound=*/1.5);
+  CheckFaultInvariants(scenario, phases, run.clover, /*degraded_bound=*/8.0,
+                       /*recovered_bound=*/1.5);
+}
+
+TEST(FaultMatrix, FlashCrowdDegradesBoundedAndRecovers) {
+  const Scenario scenario = FlashCrowdScenario();
+  const carbon::CarbonTrace trace = testing::MakeScenarioTrace(scenario);
+  core::ExperimentHarness harness(&models::DefaultZoo());
+  const testing::ScenarioRun run =
+      testing::RunScenario(harness, scenario, trace);
+  const FaultPhases phases = {scenario.faults.flash_crowds[0].start_s,
+                              scenario.faults.flash_crowds[0].end_s};
+  CheckFaultInvariants(scenario, phases, run.base, /*degraded_bound=*/8.0,
+                       /*recovered_bound=*/1.5);
+  CheckFaultInvariants(scenario, phases, run.clover, /*degraded_bound=*/8.0,
+                       /*recovered_bound=*/1.5);
+}
+
+TEST(FaultMatrix, TraceDropoutRunsOnRepairedFeed) {
+  // A CLOVER run whose carbon feed goes dark for 90 minutes across a step
+  // edge: the pipeline must hold the last reading (no crash, no NaNs) and
+  // still serve everything.
+  Scenario scenario;
+  scenario.name = "fault_trace_dropout";
+  scenario.trace = testing::TraceKind::kStep;
+  scenario.duration_hours = 6.0;
+  scenario.num_gpus = 4;
+  scenario.seed = 17;
+  scenario.faults.trace_dropouts.push_back(
+      {HoursToSeconds(1.0), HoursToSeconds(2.5)});
+  const carbon::CarbonTrace trace = testing::MakeScenarioTrace(scenario);
+  core::ExperimentHarness harness(&models::DefaultZoo());
+  const testing::ScenarioRun run =
+      testing::RunScenario(harness, scenario, trace);
+  EXPECT_GE(CompletionRatio(run.base), 0.97);
+  EXPECT_GE(CompletionRatio(run.clover), 0.97);
+  for (const sim::WindowRecord& window : run.clover.windows) {
+    EXPECT_TRUE(std::isfinite(window.ci));
+    EXPECT_TRUE(std::isfinite(window.carbon_g));
+  }
+  // The dropout is observable: during the dark window every CLOVER report
+  // window carries the held reading, i.e. the CI at the dropout start.
+  const double held = trace.At(HoursToSeconds(1.0) - 1.0);
+  for (const sim::WindowRecord& window : run.clover.windows) {
+    if (window.start_s >= HoursToSeconds(1.0) &&
+        window.start_s < HoursToSeconds(2.5)) {
+      EXPECT_DOUBLE_EQ(window.ci, held);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property: random fault schedules preserve the simulator's invariants.
+// ---------------------------------------------------------------------------
+
+struct FaultCase {
+  sim::FaultSchedule schedule;
+  std::uint64_t sim_seed = 1;
+};
+
+std::string DescribeFaultCase(const FaultCase& c) {
+  std::ostringstream os;
+  os << "{sim_seed=" << c.sim_seed << ", gpu_faults=[";
+  for (const sim::GpuFault& f : c.schedule.gpu_faults)
+    os << " g" << f.gpu_index << "@[" << f.start_s << "," << f.end_s << ")";
+  os << " ], crowds=[";
+  for (const sim::FlashCrowd& f : c.schedule.flash_crowds)
+    os << " x" << f.rate_multiplier << "@[" << f.start_s << "," << f.end_s
+       << ")";
+  os << " ]}";
+  return os.str();
+}
+
+TEST(FaultMatrix, RandomSchedulesConserveRequestsAndStayDeterministic) {
+  constexpr double kSpanS = 2700.0;  // 45 simulated minutes
+  constexpr int kGpus = 4;
+
+  testing::prop::Domain<FaultCase> domain;
+  domain.generate = [](testing::prop::Gen& gen) {
+    sim::FaultProfile profile;
+    profile.duration_s = kSpanS;
+    profile.num_gpus = kGpus;
+    profile.gpu_faults_per_hour = gen.Uniform(0.5, 4.0);
+    profile.mean_gpu_outage_s = gen.Uniform(60.0, 600.0);
+    profile.flash_crowds_per_hour = gen.Uniform(0.5, 4.0);
+    profile.mean_flash_crowd_s = gen.Uniform(60.0, 400.0);
+    profile.flash_crowd_multiplier = gen.Uniform(1.2, 2.5);
+    FaultCase c;
+    c.schedule = sim::GenerateFaultSchedule(profile, gen.rng().Next());
+    c.sim_seed = gen.rng().Next();
+    return c;
+  };
+  domain.shrink = [](const FaultCase& witness) {
+    // Drop one fault at a time: the minimal witness names the one window
+    // that breaks the invariant.
+    std::vector<FaultCase> candidates;
+    for (std::size_t i = 0; i < witness.schedule.gpu_faults.size(); ++i) {
+      FaultCase candidate = witness;
+      candidate.schedule.gpu_faults.erase(
+          candidate.schedule.gpu_faults.begin() +
+          static_cast<std::ptrdiff_t>(i));
+      candidates.push_back(std::move(candidate));
+    }
+    for (std::size_t i = 0; i < witness.schedule.flash_crowds.size(); ++i) {
+      FaultCase candidate = witness;
+      candidate.schedule.flash_crowds.erase(
+          candidate.schedule.flash_crowds.begin() +
+          static_cast<std::ptrdiff_t>(i));
+      candidates.push_back(std::move(candidate));
+    }
+    return candidates;
+  };
+  domain.describe = DescribeFaultCase;
+
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const models::Application app = models::Application::kClassification;
+  static const carbon::CarbonTrace kFlat("fault-flat", 3600.0,
+                                         std::vector<double>(4, 250.0));
+  auto run_once = [&](const FaultCase& c) {
+    sim::SimOptions options;
+    options.arrival_rate_qps = sim::SizeArrivalRate(zoo, app, kGpus, 0.6);
+    options.seed = c.sim_seed;
+    options.faults = c.schedule;
+    sim::ClusterSim sim(serving::MakeBase(app, kGpus), zoo, &kFlat, options);
+    sim.AdvanceTo(kSpanS);
+    return sim;
+  };
+
+  testing::prop::Config config;
+  config.name = "fault-conservation";
+  config.seed = 23;
+  config.iterations = 12;
+  const auto outcome = testing::prop::Check<FaultCase>(
+      config, domain,
+      [&](const FaultCase& c) -> std::optional<std::string> {
+        const sim::ClusterSim sim = run_once(c);
+        const std::uint64_t accounted =
+            sim.total_completions() + sim.queue_depth() +
+            static_cast<std::uint64_t>(sim.num_busy_instances());
+        if (sim.total_arrivals() != accounted) {
+          std::ostringstream os;
+          os << "request leak: " << sim.total_arrivals() << " arrivals vs "
+             << accounted << " accounted (completions "
+             << sim.total_completions() << ", queued " << sim.queue_depth()
+             << ", busy " << sim.num_busy_instances() << ")";
+          return os.str();
+        }
+        for (const sim::WindowRecord& window : sim.windows()) {
+          if (!(window.energy_j > 0.0) || !std::isfinite(window.p95_ms)) {
+            std::ostringstream os;
+            os << "window at " << window.start_s << "s has energy "
+               << window.energy_j << " J, p95 " << window.p95_ms << " ms";
+            return os.str();
+          }
+        }
+        // Replaying the same case must be bit-identical.
+        const sim::ClusterSim twin = run_once(c);
+        if (twin.total_completions() != sim.total_completions() ||
+            twin.total_wait_seconds() != sim.total_wait_seconds() ||
+            twin.total_busy_seconds() != sim.total_busy_seconds())
+          return "replay diverged from first run";
+        return std::nullopt;
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.report;
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: reroute around an injected regional fault; fault runs bit-identical
+// across thread counts.
+// ---------------------------------------------------------------------------
+
+TEST(FaultMatrix, FleetReroutesAroundRegionalGpuFaults) {
+  // Region 1 (eu-west) loses 2 of its 3 GPUs for 90 minutes. Under the
+  // capacity-aware least-loaded router the fleet must shift its share to
+  // the survivors — and fleet SLO attainment must hold inside the same
+  // envelope the outage scenario uses.
+  fleet::FleetConfig config;
+  config.app = models::Application::kClassification;
+  config.regions = fleet::RegionsFromPresets(
+      {"us-west", "eu-west", "ap-northeast"}, /*gpus_per_region=*/3);
+  const double fault_start = HoursToSeconds(2.0);
+  const double fault_end = HoursToSeconds(3.5);
+  config.regions[1].faults.gpu_faults.push_back({0, fault_start, fault_end});
+  config.regions[1].faults.gpu_faults.push_back({1, fault_start, fault_end});
+  config.duration_hours = 6.0;
+  config.scheme = core::Scheme::kBase;
+  config.router = fleet::RouterPolicy::kLeastLoaded;
+  config.utilization_target = 0.45;
+  // Degraded-operation envelope: the SLA tail is calibrated on a 3-GPU
+  // cluster, but during the fault eu-west serves its (rerouted-down) share
+  // on a single GPU — an M/M/1-shaped tail, ~2.5x the healthy cluster's
+  // p95 at equal utilization, plus the region's network penalty. 2x the
+  // SLA absorbs that physics; the attainment floor still fails if the
+  // router keeps overloading the crippled region.
+  config.slo_budget_factor = 2.0;
+  config.seed = 11;
+
+  const fleet::FleetReport report =
+      fleet::RunFleet(config, models::DefaultZoo());
+  EXPECT_GE(report.slo_attainment, 0.90);
+
+  // weight_history[w] is the rebalance at t = w * control_interval.
+  double before = 0.0, during = 0.0;
+  int before_n = 0, during_n = 0;
+  for (std::size_t w = 0; w < report.weight_history.size(); ++w) {
+    const double t =
+        static_cast<double>(w) * config.control_interval_s;
+    const double weight = report.weight_history[w][1];
+    if (t < fault_start) {
+      before += weight;
+      ++before_n;
+    } else if (t >= fault_start && t < fault_end) {
+      during += weight;
+      ++during_n;
+    }
+    // Router contract: weights conserve the stream at every rebalance.
+    double total = 0.0;
+    for (double v : report.weight_history[w]) total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  ASSERT_GT(before_n, 0);
+  ASSERT_GT(during_n, 0);
+  before /= before_n;
+  during /= during_n;
+  // 1 of 3 GPUs left -> the region's derated capacity (and so its
+  // least-loaded share) drops to about a third.
+  EXPECT_LT(during, 0.6 * before)
+      << "faulted region kept weight " << during << " (was " << before
+      << ")";
+  EXPECT_GE(CompletionRatio(report.fleet), 0.97);
+}
+
+TEST(FaultMatrix, FaultedFleetRunsBitIdenticalAcrossThreadCounts) {
+  // The acceptance gate: a fleet run composing every fault type — regional
+  // GPU fail-stop, flash crowd, carbon-feed dropout, RTT spike — must be
+  // bit-identical at 1, 2 and 8 threads.
+  auto make_config = [](int threads) {
+    fleet::FleetConfig config;
+    config.app = models::Application::kClassification;
+    config.regions = fleet::RegionsFromPresets({"us-west", "ap-northeast"},
+                                               /*gpus_per_region=*/2);
+    config.regions[0].faults.gpu_faults.push_back(
+        {0, HoursToSeconds(1.0), HoursToSeconds(1.5)});
+    config.regions[0].faults.rtt_spikes.push_back(
+        {HoursToSeconds(0.5), HoursToSeconds(1.0), 40.0});
+    config.regions[1].faults.flash_crowds.push_back(
+        {HoursToSeconds(1.0), HoursToSeconds(1.5), 1.8});
+    config.regions[1].faults.trace_dropouts.push_back(
+        {HoursToSeconds(0.5), HoursToSeconds(2.0)});
+    config.duration_hours = 3.0;
+    config.scheme = core::Scheme::kClover;
+    config.router = fleet::RouterPolicy::kCarbonGreedy;
+    config.seed = 29;
+    config.threads = threads;
+    return config;
+  };
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const fleet::FleetReport serial = fleet::RunFleet(make_config(1), zoo);
+  const fleet::FleetReport two = fleet::RunFleet(make_config(2), zoo);
+  const fleet::FleetReport eight = fleet::RunFleet(make_config(8), zoo);
+  EXPECT_TRUE(fleet::FleetReportsBitIdentical(serial, two));
+  EXPECT_TRUE(fleet::FleetReportsBitIdentical(serial, eight));
+  EXPECT_GT(serial.fleet.completions, 0u);
+}
+
+}  // namespace
+}  // namespace clover

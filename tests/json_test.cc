@@ -1,0 +1,211 @@
+// Edge-case coverage for the streaming JSON writer (common/json.h): string
+// escaping, non-finite doubles, nesting/separator bookkeeping, and a full
+// clover-bench-v1 document round-tripped through
+// scripts/validate_bench_json.py (the consumer CI trusts).
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+
+namespace clover {
+namespace {
+
+std::string Write(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  {
+    JsonWriter writer(&out);
+    body(writer);
+  }
+  return out.str();
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlCharacters) {
+  const std::string doc = Write([](JsonWriter& json) {
+    json.String("a\"b\\c\nd\re\tf");
+  });
+  EXPECT_EQ(doc, "\"a\\\"b\\\\c\\nd\\re\\tf\"");
+}
+
+TEST(JsonWriter, EscapesRawControlBytesAsUnicode) {
+  const std::string doc = Write([](JsonWriter& json) {
+    json.String(std::string("x") + '\x01' + '\x1f' + "y");
+  });
+  EXPECT_EQ(doc, "\"x\\u0001\\u001fy\"");
+}
+
+TEST(JsonWriter, PassesUtf8Through) {
+  // Multi-byte UTF-8 (each byte >= 0x20 as unsigned) must not be escaped.
+  const std::string doc =
+      Write([](JsonWriter& json) { json.String("gCO\xe2\x82\x82 — ok"); });
+  EXPECT_EQ(doc, "\"gCO\xe2\x82\x82 — ok\"");
+}
+
+TEST(JsonWriter, EscapesKeysToo) {
+  const std::string doc = Write([](JsonWriter& json) {
+    json.BeginObject();
+    json.Key("we\"ird\nkey");
+    json.Int(1);
+    json.EndObject();
+  });
+  EXPECT_EQ(doc, "{\"we\\\"ird\\nkey\":1}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string doc = Write([](JsonWriter& json) {
+    json.BeginArray();
+    json.Number(std::numeric_limits<double>::infinity());
+    json.Number(-std::numeric_limits<double>::infinity());
+    json.Number(std::numeric_limits<double>::quiet_NaN());
+    json.Number(1.5);
+    json.EndArray();
+  });
+  EXPECT_EQ(doc, "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, NumbersAreLocaleIndependentShortestRoundTrip) {
+  const std::string doc = Write([](JsonWriter& json) {
+    json.BeginArray();
+    json.Number(0.1);
+    json.Number(-2.5e-7);
+    json.UInt(18446744073709551615ULL);
+    json.Int(-42);
+    json.EndArray();
+  });
+  // to_chars shortest form; 0.1 round-trips as "0.1", never "0,1".
+  EXPECT_EQ(doc, "[0.1,-2.5e-07,18446744073709551615,-42]");
+}
+
+TEST(JsonWriter, NestedContainersKeepSeparatorsStraight) {
+  const std::string doc = Write([](JsonWriter& json) {
+    json.BeginObject();
+    json.Key("rows");
+    json.BeginArray();
+    json.BeginObject();
+    json.Key("a");
+    json.Bool(true);
+    json.Key("b");
+    json.Null();
+    json.EndObject();
+    json.BeginArray();
+    json.Int(1);
+    json.Int(2);
+    json.EndArray();
+    json.EndArray();
+    json.Key("empty_obj");
+    json.BeginObject();
+    json.EndObject();
+    json.Key("empty_arr");
+    json.BeginArray();
+    json.EndArray();
+    json.EndObject();
+  });
+  EXPECT_EQ(doc,
+            "{\"rows\":[{\"a\":true,\"b\":null},[1,2]],"
+            "\"empty_obj\":{},\"empty_arr\":[]}");
+}
+
+TEST(JsonWriter, RejectsValueWithoutKeyInsideObject) {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  EXPECT_THROW(json.Int(1), CheckError);
+  // Leave the writer in a consistent state for its destructor check.
+  json.Key("k");
+  json.Int(1);
+  json.EndObject();
+}
+
+// ---------------------------------------------------------------------------
+// Writer -> validator round trip: emit a clover-bench-v1 document stuffed
+// with the edge cases above and require scripts/validate_bench_json.py to
+// accept it (and to reject a corrupted twin).
+// ---------------------------------------------------------------------------
+
+void WriteBenchDocument(std::ostream& out, bool corrupt) {
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("schema");
+  json.String(corrupt ? "not-the-schema" : "clover-bench-v1");
+  json.Key("suite");
+  json.String("json_test");
+  json.Key("threads");
+  json.Int(2);
+  json.Key("host_cores");
+  json.Int(1);
+  json.Key("seed");
+  json.UInt(1);
+  json.Key("build");
+  json.String("Debug \"quoted\"\nwith control\tbytes");
+  json.Key("scenarios");
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("name");
+  json.String("edge_cases");
+  json.Key("wall_seconds");
+  json.Number(0.25);
+  json.Key("events");
+  json.UInt(3);
+  json.Key("events_per_sec");
+  json.Number(12.0);
+  json.Key("candidates");
+  json.UInt(0);
+  json.Key("candidates_per_sec");
+  json.Number(0.0);
+  json.Key("sim_p50_ms");
+  // The simulator reports +inf for "served nothing"; the writer must emit
+  // null and the validator must accept it for float fields.
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Key("sim_p99_ms");
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Key("speedup_vs_serial");
+  json.Number(0.0);
+  json.Key("deterministic");
+  json.Bool(true);
+  json.Key("notes");
+  json.String("tab\there, newline\nthere, quote\" and unicode \xc2\xb5s");
+  json.EndObject();
+  json.EndArray();
+  json.EndObject();
+}
+
+int RunValidator(const std::string& path) {
+  const std::string script =
+      std::string(CLOVER_SOURCE_DIR) + "/scripts/validate_bench_json.py";
+  const std::string command =
+      "python3 '" + script + "' --require-scenario edge_cases '" + path +
+      "' > /dev/null 2>&1";
+  return std::system(command.c_str());
+}
+
+TEST(JsonWriter, BenchDocumentRoundTripsThroughTheValidator) {
+  if (std::system("command -v python3 > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "python3 not available";
+
+  const std::string good_path = ::testing::TempDir() + "/bench_good.json";
+  {
+    std::ofstream out(good_path);
+    WriteBenchDocument(out, /*corrupt=*/false);
+  }
+  EXPECT_EQ(RunValidator(good_path), 0)
+      << "validator rejected a document the writer produced";
+
+  const std::string bad_path = ::testing::TempDir() + "/bench_bad.json";
+  {
+    std::ofstream out(bad_path);
+    WriteBenchDocument(out, /*corrupt=*/true);
+  }
+  EXPECT_NE(RunValidator(bad_path), 0)
+      << "validator accepted a wrong-schema document";
+}
+
+}  // namespace
+}  // namespace clover

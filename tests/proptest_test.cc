@@ -1,0 +1,162 @@
+// Self-tests for the seeded property-based framework (tests/testing/
+// proptest.h): reproducibility, failure-seed reporting, shrinking, and the
+// environment-variable replay contract.
+#include "testing/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace clover::testing::prop {
+namespace {
+
+Domain<std::vector<double>> SmallVectorDomain() {
+  return TraceValuesDomain(/*max_len=*/64, /*lo=*/0.0, /*hi=*/400.0);
+}
+
+TEST(PropTest, PassingPropertyReportsNothing) {
+  Config config;
+  config.name = "always-true";
+  config.iterations = 25;
+  const Outcome outcome = Check<std::vector<double>>(
+      config, SmallVectorDomain(),
+      [](const std::vector<double>&) { return std::nullopt; });
+  EXPECT_TRUE(outcome.passed);
+  EXPECT_TRUE(outcome.report.empty());
+  EXPECT_EQ(outcome.failing_iteration, -1);
+}
+
+TEST(PropTest, SameConfigIsBitReproducible) {
+  Config config;
+  config.name = "reproducible";
+  config.seed = 3;
+  config.iterations = 10;
+  std::vector<std::vector<double>> first, second;
+  auto record = [](std::vector<std::vector<double>>* sink) {
+    return [sink](const std::vector<double>& v) -> std::optional<std::string> {
+      sink->push_back(v);
+      return std::nullopt;
+    };
+  };
+  Check<std::vector<double>>(config, SmallVectorDomain(), record(&first));
+  Check<std::vector<double>>(config, SmallVectorDomain(), record(&second));
+  EXPECT_EQ(first, second);
+}
+
+TEST(PropTest, FailureReportNamesTheSeedAndWitness) {
+  Config config;
+  config.name = "no-sample-above-350";
+  config.seed = 5;
+  config.iterations = 200;
+  const auto property =
+      [](const std::vector<double>& v) -> std::optional<std::string> {
+    return std::any_of(v.begin(), v.end(), [](double x) { return x > 350.0; })
+               ? std::optional<std::string>("found a sample above 350")
+               : std::nullopt;
+  };
+  const Outcome outcome =
+      Check<std::vector<double>>(config, SmallVectorDomain(), property);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_NE(outcome.report.find("FALSIFIED"), std::string::npos);
+  EXPECT_NE(outcome.report.find("CLOVER_PROPTEST_SEED="), std::string::npos);
+  EXPECT_NE(outcome.report.find(std::to_string(outcome.failing_seed)),
+            std::string::npos);
+  EXPECT_GE(outcome.failing_iteration, 0);
+
+  // The reported seed replays the failure directly.
+  Gen replay(outcome.failing_seed);
+  const std::vector<double> witness = SmallVectorDomain().generate(replay);
+  EXPECT_TRUE(property(witness).has_value());
+}
+
+TEST(PropTest, ShrinkingSimplifiesTheWitness) {
+  // Witnesses shrink greedily; the vector domain halves length and flattens
+  // values, so the reported counterexample must be no longer than the
+  // original failing draw and still fail the property.
+  Config config;
+  config.name = "shrinks";
+  config.seed = 11;
+  config.iterations = 100;
+  config.max_shrink_steps = 500;
+  std::vector<double> last_witness;
+  const auto property =
+      [&last_witness](
+          const std::vector<double>& v) -> std::optional<std::string> {
+    if (v.size() >= 4) {
+      last_witness = v;
+      return "vector has >= 4 samples";
+    }
+    return std::nullopt;
+  };
+  const Outcome outcome =
+      Check<std::vector<double>>(config, SmallVectorDomain(), property);
+  ASSERT_FALSE(outcome.passed);
+  EXPECT_GT(outcome.shrink_steps, 0);
+  // Greedy halving bottoms out at the smallest failing size.
+  EXPECT_EQ(last_witness.size(), 4u);
+}
+
+TEST(PropTest, PinnedSeedEnvReplaysExactlyOneIteration) {
+  // First find a failing seed, then verify the env override replays it.
+  Config config;
+  config.name = "pinned";
+  config.seed = 21;
+  config.iterations = 50;
+  const auto property =
+      [](const std::vector<double>& v) -> std::optional<std::string> {
+    return v.size() % 2 == 0 ? std::optional<std::string>("even length")
+                             : std::nullopt;
+  };
+  const Outcome outcome =
+      Check<std::vector<double>>(config, SmallVectorDomain(), property);
+  ASSERT_FALSE(outcome.passed);
+
+  ASSERT_EQ(setenv("CLOVER_PROPTEST_SEED",
+                   std::to_string(outcome.failing_seed).c_str(), 1),
+            0);
+  int runs = 0;
+  const Outcome replay = Check<std::vector<double>>(
+      config, SmallVectorDomain(),
+      [&](const std::vector<double>& v) {
+        ++runs;
+        return property(v);
+      });
+  unsetenv("CLOVER_PROPTEST_SEED");
+  EXPECT_FALSE(replay.passed);
+  EXPECT_EQ(replay.failing_seed, outcome.failing_seed);
+  // One generate + shrink probes only (shrink candidates of an even-length
+  // witness may themselves be tested).
+  EXPECT_EQ(replay.failing_iteration, 0);
+}
+
+TEST(PropTest, IterationOverrideScalesTheRun) {
+  ASSERT_EQ(setenv("CLOVER_PROPTEST_ITERS", "3", 1), 0);
+  Config config;
+  config.name = "iters-override";
+  config.iterations = 100;
+  int runs = 0;
+  Check<std::vector<double>>(config, SmallVectorDomain(),
+                             [&](const std::vector<double>&) {
+                               ++runs;
+                               return std::nullopt;
+                             });
+  unsetenv("CLOVER_PROPTEST_ITERS");
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(PropTest, MmcPointDomainShrinksTowardSimplicity) {
+  const auto domain = MmcPointDomain(16, 0.2, 0.9);
+  const std::vector<MmcPoint> candidates =
+      domain.shrink({/*servers=*/8, /*rho=*/0.8});
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].servers, 4);
+  EXPECT_LT(candidates[1].rho, 0.8);
+  EXPECT_GE(candidates[1].rho, 0.2);
+}
+
+}  // namespace
+}  // namespace clover::testing::prop

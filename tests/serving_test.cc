@@ -168,6 +168,81 @@ TEST(Runtime, SubmitAfterDrainFails) {
   EXPECT_FALSE(runtime.Submit());
 }
 
+TEST(Runtime, RateZeroStartDrainsCleanlyWithNoArrivals) {
+  // A runtime whose producer never submits (a fleet region routed to
+  // weight 0, or a silenced fault window) must start and drain without
+  // deadlock, with a zeroed but consistent latency store.
+  const Deployment d = MakeUniform(Application::kClassification, 2, 19, 0);
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  runtime.Start();
+  runtime.Drain();
+  const auto stats = runtime.SnapshotStats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_DOUBLE_EQ(stats.p95_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.weighted_accuracy, 0.0);
+  for (std::uint64_t served : stats.served_per_instance)
+    EXPECT_EQ(served, 0u);
+  // Drain is idempotent, and Submit after it refuses politely.
+  runtime.Drain();
+  EXPECT_FALSE(runtime.Submit());
+}
+
+TEST(Runtime, NeverStartedRuntimeDestructsCleanly) {
+  const Deployment d = MakeUniform(Application::kClassification, 1, 1, 3);
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  const auto stats = runtime.SnapshotStats();
+  EXPECT_EQ(stats.submitted, 0u);
+  // Destructor calls Drain() on a runtime with no threads.
+}
+
+TEST(Runtime, FaultWindowArrivalGapsKeepStoreConsistent) {
+  // Arrivals in bursts separated by dead windows (the offered-load shape a
+  // flash crowd + outage produces): every burst must fully drain, the
+  // store stays consistent after each gap, and intermediate snapshots are
+  // safe while workers are mid-flight.
+  const Deployment d = MakeUniform(Application::kClassification, 2, 19, 0);
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  runtime.Start();
+  std::uint64_t submitted = 0;
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(runtime.Submit());
+      ++submitted;
+    }
+    // Quiet window: long enough for the backlog to clear at the fast time
+    // scale, so the next burst starts against idle instances.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto mid = runtime.SnapshotStats();
+    EXPECT_EQ(mid.submitted, submitted);
+    EXPECT_LE(mid.completed, mid.submitted);
+  }
+  runtime.Drain();
+  const auto stats = runtime.SnapshotStats();
+  EXPECT_EQ(stats.submitted, submitted);
+  EXPECT_EQ(stats.completed, submitted);
+  std::uint64_t served = 0;
+  for (std::uint64_t s : stats.served_per_instance) served += s;
+  EXPECT_EQ(served, submitted);
+  EXPECT_GT(stats.p95_latency_ms, 0.0);
+  EXPECT_GE(stats.p95_latency_ms, stats.mean_latency_ms * 0.5);
+}
+
+TEST(Runtime, QueuePressureBlocksSubmitUntilDrained) {
+  // A tiny queue under a burst exercises the queue_not_full_ path (Submit
+  // blocks, then proceeds) without deadlocking against Drain.
+  InferenceRuntime::Options options = FastOptions();
+  options.queue_capacity = 8;
+  const Deployment d = MakeUniform(Application::kClassification, 1, 19, 0);
+  InferenceRuntime runtime(d, DefaultZoo(), options);
+  runtime.Start();
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(runtime.Submit());
+  runtime.Drain();
+  const auto stats = runtime.SnapshotStats();
+  EXPECT_EQ(stats.completed, 300u);
+}
+
 TEST(Runtime, LatenciesAreAtLeastServiceTime) {
   const Deployment d = MakeUniform(Application::kDetection, 1, 1, 2);
   InferenceRuntime runtime(d, DefaultZoo(), FastOptions());

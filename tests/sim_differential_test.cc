@@ -1,0 +1,206 @@
+// Differential verification of the discrete-event simulator against the
+// closed-form M/M/c oracles (sim/analytic.h).
+//
+// Setup: a BASE deployment of c identical full-GPU instances under
+// ServiceModel::kExponential is exactly an M/M/c queue — Poisson arrivals,
+// exponential service, one FIFO queue, c homogeneous servers. The test
+// sweeps a (c, rho) grid, runs the simulator past a warmup, and requires
+// the measured utilization, wait probability, mean wait and mean sojourn
+// time to match the oracle within the documented tolerances below. This is
+// the permanent regression gate for simulator bias: a systematic error in
+// the event loop, the arrival process, or the service draw shifts these
+// statistics and fails the grid.
+//
+// Tolerances: the run measures ~kTargetCompletions requests per point, but
+// queueing statistics are autocorrelated (effective sample size shrinks as
+// rho -> 1), so bounds are a relative band plus an absolute floor for the
+// near-zero low-rho waits. They were chosen to pass with >= 4x margin at
+// the pinned seeds while still catching a few-percent systematic bias.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "carbon/trace.h"
+#include "common/units.h"
+#include "mig/slice_type.h"
+#include "models/zoo.h"
+#include "perf/perf_model.h"
+#include "serving/deployment.h"
+#include "sim/analytic.h"
+#include "sim/cluster_sim.h"
+#include "testing/proptest.h"
+
+namespace clover::sim {
+namespace {
+
+constexpr double kTargetCompletions = 200000.0;
+
+// Measured steady-state statistics over the post-warmup span.
+struct MeasuredMmc {
+  double utilization = 0.0;
+  double wait_probability = 0.0;
+  double mean_wait_s = 0.0;
+  double mean_sojourn_s = 0.0;
+  std::uint64_t completions = 0;
+};
+
+double ServiceRatePerServer() {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const models::ModelFamily& family =
+      zoo.ForApplication(models::Application::kClassification);
+  return 1.0 / MsToSeconds(perf::PerfModel::LatencyMs(
+                   family, family.Largest(), mig::SliceType::k7g));
+}
+
+MeasuredMmc RunMmcSim(int servers, double rho, std::uint64_t seed,
+                      double target_completions) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const models::Application app = models::Application::kClassification;
+  const double mu = ServiceRatePerServer();
+  const double lambda = rho * servers * mu;
+
+  // The trace only feeds carbon accounting, which is irrelevant here.
+  static const carbon::CarbonTrace kFlat("diff-flat", 3600.0,
+                                         std::vector<double>(4000, 250.0));
+  SimOptions options;
+  options.arrival_rate_qps = lambda;
+  options.seed = seed;
+  options.window_seconds = 600.0;
+  options.service_model = ServiceModel::kExponential;
+  ClusterSim sim(serving::MakeBase(app, servers), zoo, &kFlat, options);
+
+  // Warmup past the transient (empty-system start), then measure deltas.
+  const double warmup_s = 3000.0 / lambda + 50.0 / mu;
+  sim.AdvanceTo(warmup_s);
+  const double busy0 = sim.total_busy_seconds();
+  const double wait0 = sim.total_wait_seconds();
+  const std::uint64_t starts0 = sim.total_service_starts();
+  const std::uint64_t waited0 = sim.total_waited();
+  const std::uint64_t completions0 = sim.total_completions();
+  const double t0 = sim.now();
+
+  const double span_s = target_completions / lambda;
+  sim.AdvanceTo(warmup_s + span_s);
+
+  MeasuredMmc measured;
+  const double span = sim.now() - t0;
+  const auto starts = sim.total_service_starts() - starts0;
+  measured.completions = sim.total_completions() - completions0;
+  measured.utilization = (sim.total_busy_seconds() - busy0) /
+                         (static_cast<double>(servers) * span);
+  measured.wait_probability =
+      starts ? static_cast<double>(sim.total_waited() - waited0) /
+                   static_cast<double>(starts)
+             : 0.0;
+  measured.mean_wait_s =
+      starts ? (sim.total_wait_seconds() - wait0) /
+                   static_cast<double>(starts)
+             : 0.0;
+  measured.mean_sojourn_s = measured.mean_wait_s + 1.0 / mu;
+  return measured;
+}
+
+analytic::MmcMetrics OracleFor(int servers, double rho) {
+  analytic::MmcConfig config;
+  config.servers = servers;
+  config.service_rate = ServiceRatePerServer();
+  config.arrival_rate = rho * servers * config.service_rate;
+  return analytic::AnalyzeMmc(config);
+}
+
+// The documented differential tolerances (see file comment).
+void ExpectWithinTolerance(int servers, double rho,
+                           const MeasuredMmc& measured,
+                           const analytic::MmcMetrics& oracle,
+                           double relative_band, double wait_floor_s) {
+  const std::string where =
+      "c=" + std::to_string(servers) + " rho=" + std::to_string(rho);
+  EXPECT_NEAR(measured.utilization, oracle.utilization, 0.015) << where;
+  EXPECT_NEAR(measured.wait_probability, oracle.wait_probability, 0.03)
+      << where;
+  EXPECT_NEAR(measured.mean_wait_s, oracle.mean_wait_s,
+              relative_band * oracle.mean_wait_s + wait_floor_s)
+      << where << " (wait: sim " << SecondsToMs(measured.mean_wait_s)
+      << " ms vs oracle " << SecondsToMs(oracle.mean_wait_s) << " ms)";
+  EXPECT_NEAR(measured.mean_sojourn_s, oracle.mean_sojourn_s,
+              relative_band * oracle.mean_sojourn_s)
+      << where;
+}
+
+TEST(SimDifferential, MatchesMmcOracleAcrossTheGrid) {
+  // >= 12 points (the acceptance gate sweeps 14): every fleet size the
+  // paper's experiments use, from the single-GPU corner to a 10-GPU BASE
+  // cluster, across light, sized (0.75 is the paper's sizing point) and
+  // heavy load.
+  const std::vector<int> server_grid = {1, 2, 4, 8};
+  const std::vector<double> rho_grid = {0.35, 0.6, 0.8};
+  std::uint64_t seed = 1000;
+  for (int servers : server_grid) {
+    for (double rho : rho_grid) {
+      const MeasuredMmc measured =
+          RunMmcSim(servers, rho, ++seed, kTargetCompletions);
+      ExpectWithinTolerance(servers, rho, measured, OracleFor(servers, rho),
+                            /*relative_band=*/0.10, /*wait_floor_s=*/25e-5);
+    }
+  }
+  // Two high-load corners: rho = 0.9 waits are long and autocorrelated, so
+  // the band widens (still tight enough to catch systematic bias).
+  for (int servers : {1, 4}) {
+    const MeasuredMmc measured =
+        RunMmcSim(servers, 0.9, ++seed, 2.0 * kTargetCompletions);
+    ExpectWithinTolerance(servers, 0.9, measured, OracleFor(servers, 0.9),
+                          /*relative_band=*/0.15, /*wait_floor_s=*/25e-5);
+  }
+}
+
+TEST(SimDifferential, RandomPointsPropertyHolds) {
+  // Property form of the same gate: random (c, rho) points, shorter runs,
+  // looser band. Shrinks toward fewer servers / milder load, so a genuine
+  // bias reports the simplest configuration that exhibits it.
+  testing::prop::Config config;
+  config.name = "sim-matches-mmc-oracle";
+  config.seed = 77;
+  config.iterations = 6;
+  const auto domain = testing::prop::MmcPointDomain(10, 0.3, 0.85);
+  const auto outcome = testing::prop::Check<testing::prop::MmcPoint>(
+      config, domain,
+      [](const testing::prop::MmcPoint& point)
+          -> std::optional<std::string> {
+        const MeasuredMmc measured =
+            RunMmcSim(point.servers, point.rho, 4242, 100000.0);
+        const analytic::MmcMetrics oracle =
+            OracleFor(point.servers, point.rho);
+        const double band = 0.15 * oracle.mean_wait_s + 5e-4;
+        if (std::abs(measured.mean_wait_s - oracle.mean_wait_s) > band) {
+          std::ostringstream os;
+          os << "mean wait " << SecondsToMs(measured.mean_wait_s)
+             << " ms vs oracle " << SecondsToMs(oracle.mean_wait_s)
+             << " ms (band " << SecondsToMs(band) << " ms)";
+          return os.str();
+        }
+        if (std::abs(measured.utilization - oracle.utilization) > 0.02) {
+          std::ostringstream os;
+          os << "utilization " << measured.utilization << " vs oracle "
+             << oracle.utilization;
+          return os.str();
+        }
+        return std::nullopt;
+      });
+  EXPECT_TRUE(outcome.passed) << outcome.report;
+}
+
+TEST(SimDifferential, ExponentialServiceIsDeterministic) {
+  const MeasuredMmc a = RunMmcSim(4, 0.7, 9, 50000.0);
+  const MeasuredMmc b = RunMmcSim(4, 0.7, 9, 50000.0);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.mean_wait_s, b.mean_wait_s);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+}  // namespace
+}  // namespace clover::sim

@@ -1,0 +1,180 @@
+#include "testing/proptest.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace clover::testing::prop {
+namespace {
+
+std::optional<std::uint64_t> EnvU64(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 0);
+  if (end == value || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+Gen::Gen(std::uint64_t stream_seed)
+    : seed_(stream_seed), rng_(seed_, "proptest") {}
+
+double Gen::Uniform(double lo, double hi) {
+  CLOVER_CHECK(hi >= lo);
+  return lo + (hi - lo) * rng_.NextDouble();
+}
+
+std::int64_t Gen::IntInRange(std::int64_t lo, std::int64_t hi) {
+  CLOVER_CHECK(hi >= lo);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(rng_.NextBounded(span));
+}
+
+std::size_t Gen::Index(std::size_t size) {
+  CLOVER_CHECK(size > 0);
+  return static_cast<std::size_t>(rng_.NextBounded(size));
+}
+
+bool Gen::Chance(double probability) {
+  return rng_.NextDouble() < probability;
+}
+
+double Gen::Exponential(double mean) {
+  CLOVER_CHECK(mean > 0.0);
+  return rng_.NextExponential(1.0 / mean);
+}
+
+namespace internal {
+
+// Mixes (base seed, iteration) into one stream seed with SplitMix64 — the
+// same derivation discipline the simulator's named streams use, so
+// iteration i is reproducible in isolation from its reported seed.
+std::uint64_t IterationSeed(std::uint64_t base_seed,
+                            std::uint64_t iteration) {
+  std::uint64_t state = base_seed ^ (0x9e3779b97f4a7c15ULL * (iteration + 1));
+  return SplitMix64(state);
+}
+
+ResolvedConfig Resolve(const Config& config) {
+  CLOVER_CHECK_MSG(config.iterations > 0, "proptest needs >= 1 iteration");
+  ResolvedConfig resolved;
+  resolved.base_seed = config.seed;
+  resolved.iterations = config.iterations;
+  if (const auto pinned = EnvU64("CLOVER_PROPTEST_SEED")) {
+    // Replaying one failing seed: a single iteration on exactly that
+    // stream.
+    resolved.pinned_seed = *pinned;
+    resolved.iterations = 1;
+  }
+  if (const auto iters = EnvU64("CLOVER_PROPTEST_ITERS");
+      iters && !resolved.pinned_seed) {
+    // A zero/overflowing override would make every property a silent
+    // no-op pass; fail loudly instead.
+    CLOVER_CHECK_MSG(*iters >= 1 && *iters <= 1000000,
+                     "CLOVER_PROPTEST_ITERS out of range: " << *iters);
+    resolved.iterations = static_cast<int>(*iters);
+  }
+  return resolved;
+}
+
+std::string FormatFailure(const Config& config, std::uint64_t failing_seed,
+                          int iteration, int shrink_steps,
+                          const std::string& witness,
+                          const std::string& message) {
+  std::ostringstream os;
+  os << "property '" << config.name << "' FALSIFIED\n"
+     << "  iteration " << iteration << " of " << config.iterations
+     << ", seed " << failing_seed << "\n"
+     << "  rerun just this case: CLOVER_PROPTEST_SEED=" << failing_seed
+     << " <test binary>\n"
+     << "  witness (after " << shrink_steps << " shrink steps): " << witness
+     << "\n"
+     << "  failure: " << message;
+  return os.str();
+}
+
+}  // namespace internal
+
+Domain<std::vector<double>> TraceValuesDomain(std::size_t max_len, double lo,
+                                              double hi) {
+  CLOVER_CHECK(max_len >= 2 && hi >= lo && lo >= 0.0);
+  Domain<std::vector<double>> domain;
+  domain.generate = [max_len, lo, hi](Gen& gen) {
+    const std::size_t len =
+        static_cast<std::size_t>(gen.IntInRange(2, static_cast<std::int64_t>(
+                                                       max_len)));
+    std::vector<double> values(len);
+    for (double& v : values) v = gen.Uniform(lo, hi);
+    return values;
+  };
+  domain.shrink = [lo, hi](const std::vector<double>& witness) {
+    std::vector<std::vector<double>> candidates;
+    if (witness.size() > 2) {
+      // First half, second half (keeping >= 2 samples).
+      const std::size_t half = witness.size() / 2;
+      candidates.emplace_back(witness.begin(),
+                              witness.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      std::max<std::size_t>(half, 2)));
+      candidates.emplace_back(witness.end() -
+                                  static_cast<std::ptrdiff_t>(
+                                      std::max<std::size_t>(
+                                          witness.size() - half, 2)),
+                              witness.end());
+    }
+    // Flatten toward the range midpoint (simpler weather).
+    const double mid = 0.5 * (lo + hi);
+    std::vector<double> flattened = witness;
+    bool changed = false;
+    for (double& v : flattened) {
+      const double next = 0.5 * (v + mid);
+      if (std::abs(next - mid) < std::abs(v - mid) * 0.999) changed = true;
+      v = next;
+    }
+    if (changed) candidates.push_back(std::move(flattened));
+    return candidates;
+  };
+  domain.describe = [](const std::vector<double>& values) {
+    std::ostringstream os;
+    os << "[" << values.size() << " samples:";
+    const std::size_t shown = std::min<std::size_t>(values.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) os << " " << values[i];
+    if (shown < values.size()) os << " ...";
+    os << "]";
+    return os.str();
+  };
+  return domain;
+}
+
+Domain<MmcPoint> MmcPointDomain(int max_servers, double rho_lo,
+                                double rho_hi) {
+  CLOVER_CHECK(max_servers >= 1 && rho_lo > 0.0 && rho_hi < 1.0 &&
+               rho_hi >= rho_lo);
+  Domain<MmcPoint> domain;
+  domain.generate = [max_servers, rho_lo, rho_hi](Gen& gen) {
+    MmcPoint point;
+    point.servers = static_cast<int>(gen.IntInRange(1, max_servers));
+    point.rho = gen.Uniform(rho_lo, rho_hi);
+    return point;
+  };
+  domain.shrink = [rho_lo](const MmcPoint& witness) {
+    std::vector<MmcPoint> candidates;
+    if (witness.servers > 1)
+      candidates.push_back({witness.servers / 2, witness.rho});
+    const double milder = 0.5 * (witness.rho + rho_lo);
+    if (milder < witness.rho * 0.999)
+      candidates.push_back({witness.servers, milder});
+    return candidates;
+  };
+  domain.describe = [](const MmcPoint& point) {
+    std::ostringstream os;
+    os << "{c=" << point.servers << ", rho=" << point.rho << "}";
+    return os.str();
+  };
+  return domain;
+}
+
+}  // namespace clover::testing::prop

@@ -1,0 +1,186 @@
+// Seeded property-based testing, sized for this repo.
+//
+// A property is checked against `iterations` generated inputs. Every
+// iteration derives its own RNG stream from (base seed, iteration), so
+//   * the whole run is reproducible from one number,
+//   * a failure report names the exact seed that falsified the property, and
+//   * re-running just that seed is one environment variable away:
+//       CLOVER_PROPTEST_SEED=<seed> ctest -R <test>   (iterations collapse
+//       to the named seed; CLOVER_PROPTEST_ITERS=<n> overrides the count).
+//
+// When a property fails, the framework shrinks the witness with a fixed
+// iteration budget: the Domain's `shrink` hook proposes strictly simpler
+// candidates, the first candidate that still fails becomes the new witness,
+// and the loop stops when no candidate fails or the budget runs out. The
+// final report carries the shrunk witness (via `describe`), the failing
+// seed and the property's own failure message.
+//
+// The framework is gtest-free (it lives in the clover::scenarios library so
+// non-test binaries could reuse it); tests assert on Outcome::passed:
+//
+//   prop::Outcome outcome = prop::Check<T>(config, domain, property);
+//   EXPECT_TRUE(outcome.passed) << outcome.report;
+//
+// Determinism contract: Check is a pure function of (config, domain,
+// property, environment overrides). Domains must derive all randomness from
+// the Gen handed to them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace clover::testing::prop {
+
+// Per-iteration randomness source: a thin veneer over RngStream with the
+// draw helpers generators actually want.
+class Gen {
+ public:
+  // `stream_seed` IS the reproduction handle: constructing another Gen from
+  // the same value replays the identical stream (this is what makes
+  // CLOVER_PROPTEST_SEED work). Check() derives per-iteration stream seeds
+  // from (base seed, iteration) via internal::IterationSeed.
+  explicit Gen(std::uint64_t stream_seed);
+
+  // The seed that reproduces this iteration's stream.
+  std::uint64_t seed() const { return seed_; }
+
+  double Uniform(double lo, double hi);
+  // Inclusive integer range.
+  std::int64_t IntInRange(std::int64_t lo, std::int64_t hi);
+  std::size_t Index(std::size_t size);  // [0, size)
+  bool Chance(double probability);
+  double Exponential(double mean);
+
+  RngStream& rng() { return rng_; }
+
+ private:
+  std::uint64_t seed_;
+  RngStream rng_;
+};
+
+struct Config {
+  std::string name;           // shown in reports
+  std::uint64_t seed = 1;     // base seed (iteration streams derive from it)
+  int iterations = 100;
+  int max_shrink_steps = 200;  // fixed shrink budget
+};
+
+struct Outcome {
+  bool passed = true;
+  std::string report;             // human-readable; empty when passed
+  std::uint64_t failing_seed = 0;  // reproduces the (unshrunk) failure
+  int failing_iteration = -1;
+  int shrink_steps = 0;  // shrink candidates accepted
+};
+
+// How to generate, simplify and print values of T.
+template <typename T>
+struct Domain {
+  std::function<T(Gen&)> generate;
+  // Strictly-simpler candidates for a failing witness; empty = no shrinking.
+  std::function<std::vector<T>(const T&)> shrink;
+  std::function<std::string(const T&)> describe;
+};
+
+// A property returns nullopt on success, a failure message otherwise.
+template <typename T>
+using Property = std::function<std::optional<std::string>(const T&)>;
+
+namespace internal {
+
+// Environment overrides (CLOVER_PROPTEST_SEED / CLOVER_PROPTEST_ITERS);
+// `pinned_seed` set means "run exactly this one seed".
+struct ResolvedConfig {
+  std::uint64_t base_seed = 1;
+  int iterations = 100;
+  std::optional<std::uint64_t> pinned_seed;
+};
+ResolvedConfig Resolve(const Config& config);
+
+// SplitMix64 over (base seed, iteration): the stream seed of iteration i.
+std::uint64_t IterationSeed(std::uint64_t base_seed, std::uint64_t iteration);
+
+std::string FormatFailure(const Config& config, std::uint64_t failing_seed,
+                          int iteration, int shrink_steps,
+                          const std::string& witness,
+                          const std::string& message);
+
+}  // namespace internal
+
+template <typename T>
+Outcome Check(const Config& config, const Domain<T>& domain,
+              const Property<T>& property) {
+  const internal::ResolvedConfig resolved = internal::Resolve(config);
+  Outcome outcome;
+  for (int i = 0; i < resolved.iterations; ++i) {
+    // A pinned seed replays one stream directly; otherwise streams derive
+    // from (base seed, iteration).
+    Gen gen(resolved.pinned_seed
+                ? *resolved.pinned_seed
+                : internal::IterationSeed(resolved.base_seed,
+                                          static_cast<std::uint64_t>(i)));
+    T witness = domain.generate(gen);
+    std::optional<std::string> failure = property(witness);
+    if (!failure) continue;
+
+    outcome.passed = false;
+    outcome.failing_seed = gen.seed();
+    outcome.failing_iteration = i;
+
+    // Fixed-budget greedy shrink: accept the first simpler candidate that
+    // still fails, restart from it.
+    if (domain.shrink) {
+      int budget = config.max_shrink_steps;
+      bool shrunk_this_round = true;
+      while (budget > 0 && shrunk_this_round) {
+        shrunk_this_round = false;
+        for (T& candidate : domain.shrink(witness)) {
+          if (budget-- <= 0) break;
+          std::optional<std::string> candidate_failure = property(candidate);
+          if (candidate_failure) {
+            witness = std::move(candidate);
+            failure = std::move(candidate_failure);
+            ++outcome.shrink_steps;
+            shrunk_this_round = true;
+            break;
+          }
+        }
+      }
+    }
+
+    const std::string witness_text =
+        domain.describe ? domain.describe(witness) : std::string("<opaque>");
+    outcome.report = internal::FormatFailure(
+        config, outcome.failing_seed, i, outcome.shrink_steps, witness_text,
+        *failure);
+    return outcome;
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Ready-made domains for this repo's common inputs.
+// ---------------------------------------------------------------------------
+
+// Carbon-intensity sample vectors in [lo, hi] gCO2/kWh, length 2..max_len.
+// Shrinks by halving the vector and flattening values toward the midpoint.
+Domain<std::vector<double>> TraceValuesDomain(std::size_t max_len, double lo,
+                                              double hi);
+
+// An M/M/c grid point for differential checks.
+struct MmcPoint {
+  int servers = 1;
+  double rho = 0.5;
+};
+// servers in [1, max_servers], rho in [rho_lo, rho_hi]. Shrinks toward
+// fewer servers and milder load.
+Domain<MmcPoint> MmcPointDomain(int max_servers, double rho_lo,
+                                double rho_hi);
+
+}  // namespace clover::testing::prop

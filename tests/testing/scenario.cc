@@ -49,6 +49,7 @@ core::ExperimentConfig MakeConfig(const Scenario& scenario,
   config.lambda = scenario.lambda;
   config.accuracy_limit_pct = scenario.accuracy_limit_pct;
   config.burst = scenario.burst;
+  config.faults = scenario.faults;
   config.control_interval_s = scenario.control_interval_s;
   config.seed = scenario.seed;
   return config;

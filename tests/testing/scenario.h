@@ -60,6 +60,9 @@ struct Scenario {
   double lambda = 0.5;
   std::optional<double> accuracy_limit_pct;  // threshold-mode objective
   sim::BurstOptions burst;                   // default: steady Poisson
+  // Fault schedule replayed against both schemes (sim/fault_injector.h);
+  // empty = fault-free. Used by tests/fault_matrix_test.cc.
+  sim::FaultSchedule faults;
   double control_interval_s = 300.0;         // also the metrics window
   std::uint64_t seed = 11;
   ScenarioLimits limits;
