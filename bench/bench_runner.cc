@@ -17,7 +17,10 @@
 //                    whether the two runs were bit-identical
 //   opt_annealing    same comparison for the graph-space annealer
 //   e2e_step         full trace -> controller -> simulator pipeline on the
-//                    scenario-matrix step-trace fixture (BASE + CLOVER)
+//                    step trace (BASE + CLOVER), executed through the
+//                    campaign engine (exp/runner.h) — the same code path
+//                    `clover_campaign run` shards, so the bench and
+//                    campaign pipelines cannot drift
 //   fault_recovery   CLOVER riding out an injected GPU fail-stop plus a
 //                    flash crowd (sim/fault_injector.h); reports events/sec
 //                    and the completion ratio, and replays the identical
@@ -43,6 +46,8 @@
 #include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/harness.h"
+#include "exp/campaign.h"
+#include "exp/runner.h"
 #include "fleet/fleet_sim.h"
 #include "graph/neighbors.h"
 #include "models/zoo.h"
@@ -50,10 +55,6 @@
 #include "opt/random_search.h"
 #include "sim/arrivals.h"
 #include "timing.h"
-
-#ifdef CLOVER_HAVE_SCENARIOS
-#include "testing/scenario.h"
-#endif
 
 namespace clover::bench {
 namespace {
@@ -454,27 +455,39 @@ int main(int argc, char** argv) {
         return bench::RunAnnealOnce(context, flags, scale, threads);
       }));
 
-#ifdef CLOVER_HAVE_SCENARIOS
   {
-    testing::Scenario scenario;
-    scenario.name = "bench-e2e-step";
-    scenario.trace = testing::TraceKind::kStep;
-    scenario.duration_hours = scale.e2e_hours;
-    scenario.num_gpus = std::min(scale.gpus, 4);
-    scenario.sizing_gpus = scenario.num_gpus;
-    scenario.seed = flags.seed;
-    const carbon::CarbonTrace trace = testing::MakeScenarioTrace(scenario);
-    core::ExperimentHarness harness(&models::DefaultZoo());
+    // BASE + CLOVER on the step trace, executed through the campaign
+    // engine — exactly what `clover_campaign run` would do for the same
+    // two cells (tests/campaign_test.cc pins the engine's results to the
+    // direct harness path, so routing the bench through it costs nothing
+    // and keeps the two pipelines from drifting).
+    exp::CampaignSpec campaign;
+    campaign.name = "bench-e2e-step";
+    campaign.threads = flags.threads;
+    for (const core::Scheme scheme :
+         {core::Scheme::kBase, core::Scheme::kClover}) {
+      exp::CellSpec cell;
+      cell.scheme = scheme;
+      cell.app = models::Application::kClassification;
+      cell.trace = "step";
+      cell.gpus = std::min(scale.gpus, 4);
+      cell.hours = scale.e2e_hours;
+      cell.seed = flags.seed;
+      campaign.cells.push_back(cell);
+    }
+    campaign.grid_cells = static_cast<int>(campaign.cells.size());
+    exp::CampaignOptions options;
+    options.threads = flags.threads;
+    options.write_files = false;
     bench::WallTimer timer;
-    const testing::ScenarioRun run =
-        testing::RunScenario(harness, scenario, trace);
+    const exp::CampaignResult run = exp::RunCampaign(campaign, options);
     bench::ScenarioTiming timing = bench::FromReports(
-        "e2e_step", timer.Seconds(), {run.base, run.clover});
-    timing.notes = "BASE + CLOVER over the step-trace scenario fixture (" +
-                   timing.notes + ")";
+        "e2e_step", timer.Seconds(),
+        {run.cells[0].report, run.cells[1].report});
+    timing.notes = "BASE + CLOVER step-trace cells via the campaign "
+                   "engine (" + timing.notes + ")";
     suite.scenarios.push_back(timing);
   }
-#endif
 
   {
     // Step trace: the fault windows land on moving carbon, so CLOVER keeps

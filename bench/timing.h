@@ -1,34 +1,15 @@
 // Shared timing + machine-readable perf emission for the bench binaries.
 //
-// Every bench that reports speed goes through this one code path so the
-// human table printed by a smoke run and the BENCH_*.json consumed by CI
-// are computed from the same numbers:
-//
-//   WallTimer            monotonic stopwatch
-//   ScenarioTiming       one benchmark scenario's metrics (the JSON row)
-//   SuiteTiming          a named suite of scenarios (one BENCH_<name>.json)
-//   FromReports          harness RunReports -> ScenarioTiming (events/sec,
-//                        p50/p99 over the runs' simulated latencies)
-//   WriteBenchJson       emits the clover-bench-v1 document
-//   PrintSuiteTable      the aligned human table of the same data
-//
-// Schema (clover-bench-v1), validated by scripts/validate_bench_json.py:
-//   { "schema": "clover-bench-v1", "suite": str, "threads": int,
-//     "host_cores": int, "seed": int, "build": str, "scenarios": [ {
-//         "name": str, "wall_seconds": num, "events": int,
-//         "events_per_sec": num, "candidates": int,
-//         "candidates_per_sec": num, "sim_p50_ms": num, "sim_p99_ms": num,
-//         "speedup_vs_serial": num, "deterministic": bool, "notes": str
-//     } ... ] }
-// Fields that do not apply to a scenario are 0 (numbers) / true / "".
+// The clover-bench-v1 types and writers moved to src/exp/bench_json.h so
+// the campaign runner (exp/runner.h) emits the exact same schema through
+// the exact same code; this header re-exports them under clover::bench for
+// the bench binaries and adds the monotonic WallTimer every scenario uses.
+// Schema documentation lives with the implementation in exp/bench_json.h.
 #pragma once
 
 #include <chrono>
-#include <cstdint>
-#include <string>
-#include <vector>
 
-#include "core/harness.h"
+#include "exp/bench_json.h"
 
 namespace clover::bench {
 
@@ -46,42 +27,10 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-struct ScenarioTiming {
-  std::string name;
-  double wall_seconds = 0.0;
-  std::uint64_t events = 0;          // simulated events processed
-  double events_per_sec = 0.0;       // events / wall_seconds
-  std::uint64_t candidates = 0;      // optimizer candidates evaluated
-  double candidates_per_sec = 0.0;   // candidates / wall_seconds
-  double sim_p50_ms = 0.0;           // simulated request latency
-  double sim_p99_ms = 0.0;
-  double speedup_vs_serial = 0.0;    // parallel scenarios only (0 = n/a)
-  bool deterministic = true;         // parallel == serial results?
-  std::string notes;
-};
-
-struct SuiteTiming {
-  std::string suite;
-  int threads = 1;
-  // Hardware concurrency of the machine that produced the numbers —
-  // without it a 0.9x "speedup" on a core-starved host is
-  // indistinguishable from a real parallelization regression. Filled by
-  // WriteBenchJson when left at 0.
-  int host_cores = 0;
-  std::uint64_t seed = 1;
-  std::vector<ScenarioTiming> scenarios;
-};
-
-// Aggregates harness reports into one scenario row: events and events/sec
-// are summed over the reports; p50/p99 are the worst (largest) across the
-// reports — the conservative read for an SLO-focused suite.
-ScenarioTiming FromReports(const std::string& name, double wall_seconds,
-                           const std::vector<core::RunReport>& reports);
-
-// Writes BENCH_<suite>.json content (clover-bench-v1) to `path`.
-void WriteBenchJson(const SuiteTiming& suite, const std::string& path);
-
-// Prints the suite as an aligned human table (same values as the JSON).
-void PrintSuiteTable(const SuiteTiming& suite);
+using exp::ScenarioTiming;
+using exp::SuiteTiming;
+using exp::FromReports;
+using exp::WriteBenchJson;
+using exp::PrintSuiteTable;
 
 }  // namespace clover::bench

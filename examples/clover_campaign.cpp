@@ -1,0 +1,183 @@
+// clover_campaign: the declarative experiment-campaign front end.
+//
+//   clover_campaign list [DIR]          summarize every spec in DIR
+//                                       (default: campaigns/)
+//   clover_campaign validate FILE...    parse + expand, print the grid;
+//                                       exit 1 on the first bad spec
+//   clover_campaign run FILE            execute a campaign
+//       [--threads N]                   execution shards (default: spec)
+//       [--out DIR]                     output root (default campaign_out)
+//       [--resume]                      reuse <out>/runs/ journals
+//   clover_campaign resume FILE ...     = run --resume
+//
+// `run` writes <out>/runs/<cell>.json as cells finish and folds everything
+// into <out>/CAMPAIGN_<name>.json — a clover-bench-v1 document (validated
+// by scripts/validate_bench_json.py, same as every BENCH_*.json) plus a
+// "campaign" summary block. Exit status: 0 on success, 1 on any spec or
+// execution failure, 2 on usage errors.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "exp/campaign.h"
+#include "exp/runner.h"
+
+namespace {
+
+using clover::exp::CampaignMode;
+using clover::exp::CampaignOptions;
+using clover::exp::CampaignResult;
+using clover::exp::CampaignSpec;
+
+int Usage() {
+  std::cerr << "usage: clover_campaign list [DIR]\n"
+               "       clover_campaign validate FILE...\n"
+               "       clover_campaign run FILE [--threads N] [--out DIR] "
+               "[--resume]\n"
+               "       clover_campaign resume FILE [--threads N] [--out "
+               "DIR]\n";
+  return 2;
+}
+
+const char* ModeName(CampaignMode mode) {
+  return mode == CampaignMode::kFleet ? "fleet" : "single";
+}
+
+int ListCampaigns(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::cerr << "clover_campaign: " << dir << " is not a directory\n";
+    return 1;
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      paths.push_back(entry.path().string());
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::cout << "no campaign specs in " << dir << "\n";
+    return 0;
+  }
+  clover::TextTable table({"file", "name", "mode", "cells", "description"});
+  bool any_bad = false;
+  for (const std::string& path : paths) {
+    try {
+      const CampaignSpec spec = clover::exp::LoadCampaignSpec(path);
+      table.AddRow({std::filesystem::path(path).filename().string(),
+                    spec.name, ModeName(spec.mode),
+                    std::to_string(spec.cells.size()), spec.description});
+    } catch (const std::exception& error) {
+      any_bad = true;
+      table.AddRow({std::filesystem::path(path).filename().string(),
+                    "INVALID", "-", "-", error.what()});
+    }
+  }
+  table.Print(std::cout);
+  return any_bad ? 1 : 0;
+}
+
+int ValidateCampaigns(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    try {
+      const CampaignSpec spec = clover::exp::LoadCampaignSpec(path);
+      std::cout << "ok " << path << ": campaign \"" << spec.name << "\" ("
+                << ModeName(spec.mode) << "), " << spec.grid_cells
+                << " grid cells, " << spec.cells.size() << " unique\n";
+      for (const clover::exp::CellSpec& cell : spec.cells)
+        std::cout << "   " << cell.Name() << "\n";
+    } catch (const std::exception& error) {
+      std::cerr << "FAIL " << path << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int RunCampaignFile(const std::string& path, const CampaignOptions& options) {
+  try {
+    const CampaignSpec spec = clover::exp::LoadCampaignSpec(path);
+    std::cout << "==== campaign " << spec.name << " ====\n"
+              << spec.cells.size() << " unique cells ("
+              << spec.grid_cells - static_cast<int>(spec.cells.size())
+              << " duplicates removed) | "
+              << (options.threads > 0 ? options.threads : spec.threads)
+              << " threads"
+              << (options.resume ? " | resuming from " + options.out_dir
+                                 : "")
+              << "\n\n";
+    const CampaignResult result = clover::exp::RunCampaign(spec, options);
+    std::cout << "\nran " << result.cells.size() - result.resumed_cells
+              << " cells (" << result.resumed_cells << " resumed) in "
+              << clover::TextTable::Num(result.wall_seconds, 1)
+              << " s\nwrote " << result.consolidated_path << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "FAIL " << path << ": " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+
+  if (command == "list") {
+    if (argc > 3) return Usage();
+    return ListCampaigns(argc == 3 ? argv[2] : "campaigns");
+  }
+
+  if (command == "validate") {
+    std::vector<std::string> paths(argv + 2, argv + argc);
+    if (paths.empty()) return Usage();
+    return ValidateCampaigns(paths);
+  }
+
+  if (command == "run" || command == "resume") {
+    CampaignOptions options;
+    options.print_tables = true;
+    options.resume = command == "resume";
+    std::string path;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value for " << arg << "\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--threads") {
+        try {
+          std::size_t consumed = 0;
+          const int threads = std::stoi(next(), &consumed);
+          CLOVER_CHECK(consumed == std::string(argv[i]).size());
+          CLOVER_CHECK(threads >= 1 && threads <= 1024);
+          options.threads = threads;
+        } catch (const std::exception&) {
+          std::cerr << "bad value for --threads (want 1..1024)\n";
+          return 2;
+        }
+      } else if (arg == "--out") {
+        options.out_dir = next();
+      } else if (arg == "--resume") {
+        options.resume = true;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "unknown flag " << arg << "\n";
+        return Usage();
+      } else if (path.empty()) {
+        path = arg;
+      } else {
+        return Usage();
+      }
+    }
+    if (path.empty()) return Usage();
+    return RunCampaignFile(path, options);
+  }
+
+  return Usage();
+}

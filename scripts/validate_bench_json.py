@@ -1,22 +1,41 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json files against the clover-bench-v1 schema.
+"""Validate BENCH_*.json / CAMPAIGN_*.json files (clover-bench-v1) and
+optionally soft-gate them against a baseline.
 
-Usage: validate_bench_json.py [--require-scenario NAME]... FILE [FILE...]
+Usage:
+  validate_bench_json.py [--require-scenario NAME]...
+                         [--baseline FILE] [--tolerance PCT]
+                         FILE [FILE...]
 
-Exits nonzero (with a message per problem) when a file is malformed —
-unparsable JSON, wrong schema tag, missing/of-the-wrong-type fields, or
-physically impossible values (negative wall time, empty suite). It does
-NOT judge regressions: thresholds are a later PR's business; this gate
-only guarantees the artifact every CI run uploads is machine-readable.
+Schema mode (always on): exits nonzero (with a message per problem) when a
+file is malformed — unparsable JSON, wrong schema tag, missing/of-the-
+wrong-type fields, physically impossible values (negative wall time, empty
+suite), or duplicate scenario names (a baseline compare keys rows by name,
+so a duplicate would silently shadow a measurement).
 
 --require-scenario NAME (repeatable) additionally fails when a file lacks
 a scenario row with that name — CI uses it so a suite can never silently
 drop a scenario (e.g. fleet_routing) from the baseline artifact.
 
-Stdlib only (json, sys) — no pip dependencies.
+Baseline mode (--baseline FILE, default tolerance 25%): compares each
+candidate FILE against the baseline by scenario name.
+  * HARD failures (exit 1): a scenario present in the baseline is missing
+    from the candidate (dropped coverage), or either file fails schema
+    validation.
+  * SOFT findings (exit 0): throughput (events_per_sec,
+    candidates_per_sec) lower, or simulated latency (sim_p50_ms,
+    sim_p99_ms) higher, than the baseline by more than --tolerance
+    percent. CI runners are noisy, so these emit GitHub `::warning::`
+    annotations and a markdown table appended to $GITHUB_STEP_SUMMARY
+    (printed to stdout when the variable is unset) instead of failing the
+    job. A `deterministic: false` row is already a hard failure at bench
+    time via the producer's exit status.
+
+Stdlib only (json, os, sys) — no pip dependencies.
 """
 
 import json
+import os
 import sys
 
 SCENARIO_FIELDS = {
@@ -50,6 +69,15 @@ TOP_FIELDS = {
     "build": str,
     "scenarios": list,
 }
+
+# Metrics the baseline compare judges: (field, direction). "higher" means
+# larger-is-better (throughput); "lower" means smaller-is-better (latency).
+COMPARE_METRICS = (
+    ("events_per_sec", "higher"),
+    ("candidates_per_sec", "higher"),
+    ("sim_p50_ms", "lower"),
+    ("sim_p99_ms", "lower"),
+)
 
 
 def validate(path, required_scenarios=()):
@@ -114,19 +142,120 @@ def validate(path, required_scenarios=()):
         if isinstance(scenario.get("name"), str) and not scenario["name"]:
             problems.append(f"{where}: empty name")
 
-    present = {
-        scenario.get("name")
-        for scenario in doc["scenarios"]
-        if isinstance(scenario, dict)
-    }
+    present = {}
+    for i, scenario in enumerate(doc["scenarios"]):
+        if not isinstance(scenario, dict):
+            continue
+        name = scenario.get("name")
+        if not isinstance(name, str):
+            continue
+        if name in present:
+            # A duplicate would make a baseline compare (and any consumer
+            # keying rows by name) silently pick one of the two rows.
+            problems.append(
+                f"{path}: duplicate scenario name '{name}' "
+                f"(scenarios[{present[name]}] and scenarios[{i}])"
+            )
+        else:
+            present[name] = i
     for name in required_scenarios:
         if name not in present:
             problems.append(f"{path}: missing required scenario '{name}'")
     return problems
 
 
+def scenario_map(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return {
+        scenario["name"]: scenario
+        for scenario in doc["scenarios"]
+        if isinstance(scenario, dict) and isinstance(scenario.get("name"), str)
+    }
+
+
+def compare_against_baseline(path, baseline_path, tolerance_pct):
+    """Returns (hard_problems, soft_regressions).
+
+    soft_regressions: list of (scenario, metric, baseline, candidate,
+    delta_pct) tuples where delta_pct is the relative change in the "bad"
+    direction beyond which tolerance_pct trips.
+    """
+    hard = []
+    soft = []
+    base = scenario_map(baseline_path)
+    cand = scenario_map(path)
+    for name in base:
+        if name not in cand:
+            hard.append(
+                f"{path}: scenario '{name}' present in baseline "
+                f"{baseline_path} was dropped"
+            )
+    for name, base_row in base.items():
+        cand_row = cand.get(name)
+        if cand_row is None:
+            continue
+        for metric, direction in COMPARE_METRICS:
+            base_value = base_row.get(metric)
+            cand_value = cand_row.get(metric)
+            # Nulls (non-finite at emit time) and zero baselines carry no
+            # regression signal for a ratio test.
+            if not isinstance(base_value, (int, float)) or isinstance(
+                base_value, bool
+            ):
+                continue
+            if not isinstance(cand_value, (int, float)) or isinstance(
+                cand_value, bool
+            ):
+                continue
+            if base_value <= 0:
+                continue
+            if direction == "higher":
+                delta_pct = (base_value - cand_value) / base_value * 100.0
+            else:
+                delta_pct = (cand_value - base_value) / base_value * 100.0
+            if delta_pct > tolerance_pct:
+                soft.append((name, metric, base_value, cand_value, delta_pct))
+    return hard, soft
+
+
+def emit_soft_report(path, baseline_path, tolerance_pct, regressions):
+    for name, metric, base_value, cand_value, delta_pct in regressions:
+        # GitHub annotation; a no-op string on other terminals.
+        print(
+            f"::warning file={path}::perf soft-gate: {name}.{metric} "
+            f"{base_value:.6g} -> {cand_value:.6g} "
+            f"({delta_pct:+.1f}% worse, tolerance {tolerance_pct:g}%)"
+        )
+    lines = [
+        "### Perf soft-gate: regressions beyond tolerance "
+        f"({tolerance_pct:g}%)",
+        "",
+        f"`{path}` vs baseline `{baseline_path}` — soft findings only "
+        "(CI runners are noisy; investigate before merging, the job stays "
+        "green):",
+        "",
+        "| scenario | metric | baseline | candidate | change |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for name, metric, base_value, cand_value, delta_pct in regressions:
+        lines.append(
+            f"| {name} | {metric} | {base_value:.6g} | {cand_value:.6g} "
+            f"| {delta_pct:+.1f}% worse |"
+        )
+    text = "\n".join(lines) + "\n"
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text)
+
+
 def main(argv):
     required = []
+    baseline = None
+    tolerance = 25.0
     paths = []
     i = 1
     while i < len(argv):
@@ -136,15 +265,50 @@ def main(argv):
                 return 2
             required.append(argv[i + 1])
             i += 2
+        elif argv[i] == "--baseline":
+            if i + 1 >= len(argv):
+                print("--baseline needs a value", file=sys.stderr)
+                return 2
+            baseline = argv[i + 1]
+            i += 2
+        elif argv[i] == "--tolerance":
+            if i + 1 >= len(argv):
+                print("--tolerance needs a value", file=sys.stderr)
+                return 2
+            try:
+                tolerance = float(argv[i + 1])
+            except ValueError:
+                print(f"bad --tolerance '{argv[i + 1]}'", file=sys.stderr)
+                return 2
+            if not tolerance > 0:
+                print("--tolerance must be > 0", file=sys.stderr)
+                return 2
+            i += 2
         else:
             paths.append(argv[i])
             i += 1
     if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+
     all_problems = []
     for path in paths:
         all_problems.extend(validate(path, required))
+
+    if baseline is not None:
+        # The baseline itself must be schema-valid (no required scenarios:
+        # it may predate a newly added one) before ratios mean anything.
+        baseline_problems = validate(baseline)
+        all_problems.extend(baseline_problems)
+        if not all_problems:
+            for path in paths:
+                hard, soft = compare_against_baseline(
+                    path, baseline, tolerance
+                )
+                all_problems.extend(hard)
+                if soft:
+                    emit_soft_report(path, baseline, tolerance, soft)
+
     for problem in all_problems:
         print(f"FAIL {problem}", file=sys.stderr)
     if not all_problems:

@@ -2,8 +2,9 @@
 # Tier-1 verify: configure -> build -> ctest, the loop CI runs on every
 # push. Usage: scripts/verify.sh [build-dir] (default: build).
 #
-# Set CLOVER_SKIP_SANITIZE=1 to skip the second (ASan+UBSan Debug) build,
-# e.g. for a quick inner-loop run; CI always runs it.
+# Opt-outs for a quick inner-loop run (CI always runs everything):
+#   CLOVER_SKIP_SANITIZE=1  skip the second (ASan+UBSan Debug) build
+#   CLOVER_SKIP_CAMPAIGN=1  skip the campaign smoke run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,13 +15,37 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Perf baseline: the bench_runner_smoke ctest above already ran the smoke
-# suite (fleet_routing + fault_recovery included) and wrote its JSON;
-# validate the schema and the required scenarios (mirrors the CI step).
+# suite (fleet_routing + fault_recovery + the campaign-routed e2e_step
+# included) and wrote its JSON; validate the schema and required scenarios
+# and soft-gate against the committed baseline (regressions beyond the
+# tolerance print warnings, never fail — mirrors the CI step). The
+# committed baseline is Release-built, so — like CI — the compare only
+# runs for Release build dirs; Debug numbers would warn on every run.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+BASELINE_ARGS=()
+if [[ "${BUILD_TYPE:-Release}" == "Release" ]]; then
+  BASELINE_ARGS=(--baseline BENCH_smoke.json --tolerance 25)
+fi
 if command -v python3 >/dev/null; then
   python3 scripts/validate_bench_json.py \
     --require-scenario fleet_routing \
     --require-scenario fault_recovery \
+    --require-scenario e2e_step \
+    ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} \
     "$BUILD_DIR"/bench/bench_smoke_out/BENCH_smoke.json
+fi
+
+# Campaign smoke: the declarative campaign path end to end — spec reader,
+# grid expansion, sharded runner, consolidated clover-bench-v1 artifact —
+# validated by the same script (mirrors the CI campaign-smoke step).
+if [[ "${CLOVER_SKIP_CAMPAIGN:-}" != 1 ]]; then
+  "$BUILD_DIR"/examples/clover_campaign run campaigns/smoke.json \
+    --threads 2 --out "$BUILD_DIR/campaign_out"
+  if command -v python3 >/dev/null; then
+    python3 scripts/validate_bench_json.py \
+      "$BUILD_DIR"/campaign_out/CAMPAIGN_smoke.json
+  fi
 fi
 
 # ASan + UBSan sweep of the unit suite (mirrors the CI sanitize job).

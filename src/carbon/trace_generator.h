@@ -46,6 +46,22 @@ struct TraceGeneratorOptions {
 CarbonTrace GenerateTrace(TraceProfile profile,
                           const TraceGeneratorOptions& options = {});
 
+// --- Degenerate analytic shapes -------------------------------------------
+//
+// Shared by the test fixtures (tests/testing/trace_fixtures.h) and the
+// campaign engine's "flat"/"step" trace presets — one construction, so the
+// two consumers can never drift.
+
+// Constant intensity: any carbon saving must come from serving the same
+// load with less energy, not from shifting work to cleaner hours.
+CarbonTrace FlatTrace(double g_per_kwh, double duration_hours,
+                      double sample_interval_s = 300.0);
+
+// Square wave alternating `low` and `high` gCO2/kWh every `period_hours`,
+// starting low. Each edge is a guaranteed reoptimization trigger.
+CarbonTrace StepTrace(double low, double high, double period_hours,
+                      double duration_hours, double sample_interval_s = 300.0);
+
 // --- Region presets (multi-region fleet serving) -------------------------
 //
 // A region is a grid profile placed on the globe: the diurnal harmonics are

@@ -2,6 +2,8 @@
 
 #include <charconv>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "common/check.h"
 
@@ -106,6 +108,448 @@ void JsonWriter::Bool(bool value) {
 void JsonWriter::Null() {
   BeforeValue();
   *out_ << "null";
+}
+
+// --- Reader ----------------------------------------------------------------
+
+namespace {
+
+std::string Positioned(const std::string& message, int line, int column) {
+  std::ostringstream os;
+  os << "line " << line << ", column " << column << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+JsonParseError::JsonParseError(const std::string& message, int line,
+                               int column)
+    : std::runtime_error(Positioned(message, line, column)),
+      line_(line),
+      column_(column) {}
+
+JsonParseError::JsonParseError(PreformattedTag, const std::string& what,
+                               int line, int column)
+    : std::runtime_error(what), line_(line), column_(column) {}
+
+JsonParseError JsonParseError::Preformatted(const std::string& what, int line,
+                                            int column) {
+  return JsonParseError(PreformattedTag{}, what, line, column);
+}
+
+JsonValue::~JsonValue() = default;
+JsonValue::JsonValue(JsonValue&& other) noexcept = default;
+JsonValue& JsonValue::operator=(JsonValue&& other) noexcept = default;
+
+void JsonValue::Fail(const std::string& message) const {
+  throw JsonParseError(message, line_, column_);
+}
+
+namespace {
+
+const char* KindName(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "a boolean";
+    case JsonValue::Kind::kNumber: return "a number";
+    case JsonValue::Kind::kString: return "a string";
+    case JsonValue::Kind::kArray: return "an array";
+    case JsonValue::Kind::kObject: return "an object";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool JsonValue::AsBool() const {
+  if (kind_ != Kind::kBool)
+    Fail(std::string("expected a boolean, found ") + KindName(kind_));
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  if (kind_ != Kind::kNumber)
+    Fail(std::string("expected a number, found ") + KindName(kind_));
+  return number_;
+}
+
+// Numbers are stored as doubles, which represent integers exactly only up
+// to 2^53 - 1. Beyond that the parse itself already rounded (e.g. the
+// token "9007199254740993" parses to ...992), so returning the value would
+// silently run a different experiment than the config specifies — reject
+// instead, per the reader's exact-fit contract.
+constexpr double kMaxExactInteger = 9007199254740991.0;  // 2^53 - 1
+
+std::int64_t JsonValue::AsInt() const {
+  const double value = AsNumber();
+  if (value != std::floor(value) || value < -kMaxExactInteger ||
+      value > kMaxExactInteger)
+    Fail("expected an integer with magnitude <= 2^53 - 1");
+  return static_cast<std::int64_t>(value);
+}
+
+std::uint64_t JsonValue::AsUInt() const {
+  const double value = AsNumber();
+  if (value != std::floor(value) || value < 0.0 || value > kMaxExactInteger)
+    Fail("expected a non-negative integer <= 2^53 - 1");
+  return static_cast<std::uint64_t>(value);
+}
+
+const std::string& JsonValue::AsString() const {
+  if (kind_ != Kind::kString)
+    Fail(std::string("expected a string, found ") + KindName(kind_));
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  if (kind_ != Kind::kArray)
+    Fail(std::string("expected an array, found ") + KindName(kind_));
+  return array_;
+}
+
+const std::vector<JsonMember>& JsonValue::AsObject() const {
+  if (kind_ != Kind::kObject)
+    Fail(std::string("expected an object, found ") + KindName(kind_));
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const JsonMember& member : AsObject())
+    if (member.key == key) return &member.value;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr)
+    Fail("missing required key \"" + std::string(key) + "\"");
+  return *value;
+}
+
+// Recursive-descent parser over the whole text. Tracks (line, column)
+// per character; the depth limit bounds the recursion.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, const JsonReaderOptions& options)
+      : text_(text), options_(options) {}
+
+  JsonValue ParseDocument() {
+    JsonValue value = ParseValue(/*depth=*/0);
+    SkipWhitespace();
+    if (!AtEnd())
+      Error("trailing content after the JSON document");
+    return value;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  char Peek() const { return text_[pos_]; }
+
+  char Take() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[noreturn]] void Error(const std::string& message) const {
+    throw JsonParseError(message, line_, column_);
+  }
+
+  [[noreturn]] void ErrorAt(const std::string& message, int line,
+                            int column) const {
+    throw JsonParseError(message, line, column);
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      Take();
+    }
+  }
+
+  void Expect(char wanted, const char* what) {
+    SkipWhitespace();
+    if (AtEnd())
+      Error(std::string("unexpected end of input, expected ") + what);
+    if (Peek() != wanted)
+      Error(std::string("expected ") + what + ", found '" + Peek() + "'");
+    Take();
+  }
+
+  void ExpectLiteral(std::string_view literal) {
+    for (const char wanted : literal) {
+      if (AtEnd() || Peek() != wanted)
+        Error("invalid literal (expected \"" + std::string(literal) + "\")");
+      Take();
+    }
+  }
+
+  JsonValue ParseValue(int depth) {
+    SkipWhitespace();
+    if (AtEnd()) Error("unexpected end of input, expected a value");
+    JsonValue value;
+    value.line_ = line_;
+    value.column_ = column_;
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        ParseObject(&value, depth);
+        break;
+      case '[':
+        ParseArray(&value, depth);
+        break;
+      case '"':
+        value.kind_ = JsonValue::Kind::kString;
+        value.string_ = ParseString();
+        break;
+      case 't':
+        ExpectLiteral("true");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = true;
+        break;
+      case 'f':
+        ExpectLiteral("false");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = false;
+        break;
+      case 'n':
+        ExpectLiteral("null");
+        value.kind_ = JsonValue::Kind::kNull;
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          value.kind_ = JsonValue::Kind::kNumber;
+          value.number_ = ParseNumber();
+        } else {
+          Error(std::string("unexpected character '") + c + "'");
+        }
+    }
+    return value;
+  }
+
+  void ParseObject(JsonValue* value, int depth) {
+    if (depth >= options_.max_depth)
+      Error("nesting deeper than " + std::to_string(options_.max_depth) +
+            " levels");
+    value->kind_ = JsonValue::Kind::kObject;
+    Take();  // '{'
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      Take();
+      return;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) Error("unexpected end of input inside an object");
+      const int key_line = line_;
+      const int key_column = column_;
+      if (Peek() != '"') Error("expected a string object key");
+      std::string key = ParseString();
+      for (const JsonMember& member : value->members_)
+        if (member.key == key)
+          ErrorAt("duplicate object key \"" + key + "\"", key_line,
+                  key_column);
+      Expect(':', "':' after the object key");
+      JsonMember member;
+      member.key = std::move(key);
+      member.value = ParseValue(depth + 1);
+      value->members_.push_back(std::move(member));
+      SkipWhitespace();
+      if (AtEnd()) Error("unexpected end of input inside an object");
+      if (Peek() != '}' && Peek() != ',')
+        Error("expected ',' or '}' inside an object");
+      if (Take() == '}') return;
+    }
+  }
+
+  void ParseArray(JsonValue* value, int depth) {
+    if (depth >= options_.max_depth)
+      Error("nesting deeper than " + std::to_string(options_.max_depth) +
+            " levels");
+    value->kind_ = JsonValue::Kind::kArray;
+    Take();  // '['
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      Take();
+      return;
+    }
+    for (;;) {
+      value->array_.push_back(ParseValue(depth + 1));
+      SkipWhitespace();
+      if (AtEnd()) Error("unexpected end of input inside an array");
+      if (Peek() != ']' && Peek() != ',')
+        Error("expected ',' or ']' inside an array");
+      if (Take() == ']') return;
+    }
+  }
+
+  // Decodes a \uXXXX escape's four hex digits (surrogate handling is the
+  // caller's business).
+  unsigned ParseHex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (AtEnd()) Error("unexpected end of input inside a \\u escape");
+      const char c = Take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        Error(std::string("invalid hex digit '") + c + "' in a \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::string ParseString() {
+    Take();  // opening quote
+    std::string out;
+    for (;;) {
+      if (AtEnd()) Error("unterminated string");
+      const char c = Take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        Error("raw control character in a string (use \\u escapes)");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) Error("unterminated escape sequence");
+      const char escape = Take();
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = ParseHex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (AtEnd() || Peek() != '\\') Error("unpaired surrogate escape");
+            Take();
+            if (AtEnd() || Peek() != 'u') Error("unpaired surrogate escape");
+            Take();
+            const unsigned low = ParseHex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+              Error("invalid low surrogate in a \\u escape pair");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            Error("unpaired low surrogate escape");
+          }
+          AppendUtf8(&out, code);
+          break;
+        }
+        default:
+          Error(std::string("invalid escape sequence '\\") + escape + "'");
+      }
+    }
+  }
+
+  double ParseNumber() {
+    const int start_line = line_;
+    const int start_column = column_;
+    const std::size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') Take();
+    // Integer part: JSON forbids leading zeros ("01") and a bare minus.
+    if (AtEnd() || Peek() < '0' || Peek() > '9')
+      ErrorAt("malformed number", start_line, start_column);
+    if (Peek() == '0') {
+      Take();
+      if (!AtEnd() && Peek() >= '0' && Peek() <= '9')
+        ErrorAt("malformed number (leading zero)", start_line, start_column);
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') Take();
+    }
+    if (!AtEnd() && Peek() == '.') {
+      Take();
+      if (AtEnd() || Peek() < '0' || Peek() > '9')
+        ErrorAt("malformed number (digits must follow '.')", start_line,
+                start_column);
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') Take();
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      Take();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) Take();
+      if (AtEnd() || Peek() < '0' || Peek() > '9')
+        ErrorAt("malformed number (empty exponent)", start_line,
+                start_column);
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') Take();
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      // Out-of-range magnitudes round to +-inf / 0 per from_chars; JSON
+      // readers conventionally accept the rounding, but a config that
+      // relies on it is certainly a typo — reject loudly.
+      ErrorAt("number out of double range", start_line, start_column);
+    }
+    if (ec != std::errc() || end != token.data() + token.size())
+      ErrorAt("malformed number", start_line, start_column);
+    if (!std::isfinite(value))
+      ErrorAt("number out of double range", start_line, start_column);
+    return value;
+  }
+
+  std::string_view text_;
+  JsonReaderOptions options_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+JsonValue ParseJson(std::string_view text, const JsonReaderOptions& options) {
+  return JsonParser(text, options).ParseDocument();
+}
+
+JsonValue ParseJsonFile(const std::string& path,
+                        const JsonReaderOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good())
+    throw JsonParseError::Preformatted("cannot open " + path, 0, 0);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad())
+    throw JsonParseError::Preformatted("cannot read " + path, 0, 0);
+  try {
+    return ParseJson(buffer.str(), options);
+  } catch (const JsonParseError& error) {
+    throw JsonParseError::Preformatted(path + ": " + error.what(),
+                                       error.line(), error.column());
+  }
 }
 
 void JsonWriter::WriteEscaped(std::string_view text) {

@@ -1,6 +1,6 @@
-// Minimal streaming JSON writer for machine-readable outputs
-// (bench/BENCH_*.json perf baselines; anything else that needs to be parsed
-// by scripts rather than humans).
+// Minimal streaming JSON writer plus a strict document reader for
+// machine-readable inputs and outputs (bench/BENCH_*.json perf baselines,
+// campaigns/*.json experiment grids, campaign resume files).
 //
 // The writer emits syntactically valid JSON by construction: it tracks the
 // open container stack and inserts separators itself; Key() is only legal
@@ -12,11 +12,24 @@
 // served") are emitted as `null`, which keeps the document
 // standard-compliant.
 //
-// Thread-safety: none — one writer per stream per thread.
+// The reader (ParseJson / ParseJsonFile) is deliberately strict, in the
+// CSV loader's diagnostic style (carbon/trace.h FromCsv): configs are
+// hand-edited, so every rejection names the line and column. It parses one
+// complete document and rejects trailing non-whitespace, duplicate object
+// keys (the second definition would silently win otherwise), nesting past
+// a fixed depth limit, malformed escapes, raw control characters, and any
+// number JSON's grammar rejects (leading zeros, bare '.', non-finite).
+// Every JsonValue remembers where it began, so a *semantic* error ("gpus
+// must be a positive integer") can be reported at the offending value too.
+//
+// Thread-safety: none — one writer per stream per thread; JsonValue trees
+// are immutable after parse and safe to read from many threads.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -61,5 +74,126 @@ class JsonWriter {
   std::vector<Frame> stack_;
   bool key_pending_ = false;
 };
+
+// --- Reader ----------------------------------------------------------------
+
+// Thrown on any parse or (via JsonValue accessors) schema violation. The
+// what() string already embeds "line L, column C"; the accessors expose the
+// raw position for callers that compose their own diagnostics.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  // For rethrowing with extra context (e.g. a file path prefix) without
+  // re-applying the "line L, column C" formatting.
+  static JsonParseError Preformatted(const std::string& what, int line,
+                                     int column);
+
+ private:
+  struct PreformattedTag {};
+  JsonParseError(PreformattedTag, const std::string& what, int line,
+                 int column);
+
+  int line_;
+  int column_;
+};
+
+// One object member (defined after JsonValue); members keep document
+// order — deterministic re-emission and diagnostics depend on it.
+struct JsonMember;
+
+// An immutable parsed JSON value. Accessors check the kind and throw
+// JsonParseError pointing at the value's position on mismatch, so campaign
+// spec readers get "line 12, column 7: expected a number" for free.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+  ~JsonValue();
+  JsonValue(JsonValue&& other) noexcept;
+  JsonValue& operator=(JsonValue&& other) noexcept;
+  JsonValue(const JsonValue&) = delete;
+  JsonValue& operator=(const JsonValue&) = delete;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // 1-based position of the value's first character in the source text.
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  // Checked accessors; throw JsonParseError at this value's position.
+  bool AsBool() const;
+  double AsNumber() const;
+  // AsNumber restricted to integers the double-backed parse represents
+  // exactly — magnitude <= 2^53 - 1 (12.5, 1e300, 2^53 + 1 and -1 for
+  // AsUInt all fail with a positioned message; above 2^53 the parse has
+  // already rounded, so returning a value would silently alter a config).
+  std::int64_t AsInt() const;
+  std::uint64_t AsUInt() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<JsonMember>& AsObject() const;
+
+  // Object member lookup; nullptr when absent. Throws when not an object.
+  const JsonValue* Find(std::string_view key) const;
+  // Find that throws a positioned "missing required key" error on absence.
+  const JsonValue& At(std::string_view key) const;
+
+  // Builds "line L, column C: <message>" anchored at this value — for
+  // semantic errors discovered after the parse (schema validation).
+  [[noreturn]] void Fail(const std::string& message) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  // string values only
+  std::vector<JsonValue> array_;
+  // vector of an incomplete type is fine here (C++17); JsonMember is
+  // completed below, before any member function that touches it is defined.
+  std::vector<JsonMember> members_;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+struct JsonMember {
+  std::string key;
+  JsonValue value;
+};
+
+struct JsonReaderOptions {
+  // Maximum container nesting. Deep enough for any hand-written config,
+  // shallow enough that a pathological "[[[[…" input cannot blow the stack
+  // (the parser recurses once per level).
+  int max_depth = 64;
+};
+
+// Parses exactly one JSON document from `text`; throws JsonParseError on
+// any violation (see the header comment for the strictness contract).
+JsonValue ParseJson(std::string_view text,
+                    const JsonReaderOptions& options = {});
+
+// Reads `path` and parses it; the error message is prefixed with the path
+// (both for I/O failures and parse failures).
+JsonValue ParseJsonFile(const std::string& path,
+                        const JsonReaderOptions& options = {});
 
 }  // namespace clover

@@ -1,15 +1,15 @@
-#include "timing.h"
+#include "exp/bench_json.h"
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <thread>
 
 #include "common/check.h"
-#include "common/json.h"
 #include "common/table.h"
 
-namespace clover::bench {
+namespace clover::exp {
 
 ScenarioTiming FromReports(const std::string& name, double wall_seconds,
                            const std::vector<core::RunReport>& reports) {
@@ -36,60 +36,69 @@ ScenarioTiming FromReports(const std::string& name, double wall_seconds,
   return timing;
 }
 
-void WriteBenchJson(const SuiteTiming& suite, const std::string& path) {
-  std::ofstream out(path);
-  CLOVER_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+void WriteSuiteFields(JsonWriter* json, const SuiteTiming& suite) {
   const int host_cores =
       suite.host_cores > 0
           ? suite.host_cores
           : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  json->Key("schema");
+  json->String("clover-bench-v1");
+  json->Key("suite");
+  json->String(suite.suite);
+  json->Key("threads");
+  json->Int(suite.threads);
+  json->Key("host_cores");
+  json->Int(host_cores);
+  json->Key("seed");
+  json->UInt(suite.seed);
+  json->Key("build");
+#ifdef NDEBUG
+  json->String("release");
+#else
+  json->String("debug");
+#endif
+  json->Key("scenarios");
+  json->BeginArray();
+  std::set<std::string> seen;
+  for (const ScenarioTiming& scenario : suite.scenarios) {
+    CLOVER_CHECK_MSG(seen.insert(scenario.name).second,
+                     "duplicate scenario name " << scenario.name
+                                                << " in suite "
+                                                << suite.suite);
+    json->BeginObject();
+    json->Key("name");
+    json->String(scenario.name);
+    json->Key("wall_seconds");
+    json->Number(scenario.wall_seconds);
+    json->Key("events");
+    json->UInt(scenario.events);
+    json->Key("events_per_sec");
+    json->Number(scenario.events_per_sec);
+    json->Key("candidates");
+    json->UInt(scenario.candidates);
+    json->Key("candidates_per_sec");
+    json->Number(scenario.candidates_per_sec);
+    json->Key("sim_p50_ms");
+    json->Number(scenario.sim_p50_ms);
+    json->Key("sim_p99_ms");
+    json->Number(scenario.sim_p99_ms);
+    json->Key("speedup_vs_serial");
+    json->Number(scenario.speedup_vs_serial);
+    json->Key("deterministic");
+    json->Bool(scenario.deterministic);
+    json->Key("notes");
+    json->String(scenario.notes);
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
+void WriteBenchJson(const SuiteTiming& suite, const std::string& path) {
+  std::ofstream out(path);
+  CLOVER_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
   JsonWriter json(&out);
   json.BeginObject();
-  json.Key("schema");
-  json.String("clover-bench-v1");
-  json.Key("suite");
-  json.String(suite.suite);
-  json.Key("threads");
-  json.Int(suite.threads);
-  json.Key("host_cores");
-  json.Int(host_cores);
-  json.Key("seed");
-  json.UInt(suite.seed);
-  json.Key("build");
-#ifdef NDEBUG
-  json.String("release");
-#else
-  json.String("debug");
-#endif
-  json.Key("scenarios");
-  json.BeginArray();
-  for (const ScenarioTiming& scenario : suite.scenarios) {
-    json.BeginObject();
-    json.Key("name");
-    json.String(scenario.name);
-    json.Key("wall_seconds");
-    json.Number(scenario.wall_seconds);
-    json.Key("events");
-    json.UInt(scenario.events);
-    json.Key("events_per_sec");
-    json.Number(scenario.events_per_sec);
-    json.Key("candidates");
-    json.UInt(scenario.candidates);
-    json.Key("candidates_per_sec");
-    json.Number(scenario.candidates_per_sec);
-    json.Key("sim_p50_ms");
-    json.Number(scenario.sim_p50_ms);
-    json.Key("sim_p99_ms");
-    json.Number(scenario.sim_p99_ms);
-    json.Key("speedup_vs_serial");
-    json.Number(scenario.speedup_vs_serial);
-    json.Key("deterministic");
-    json.Bool(scenario.deterministic);
-    json.Key("notes");
-    json.String(scenario.notes);
-    json.EndObject();
-  }
-  json.EndArray();
+  WriteSuiteFields(&json, suite);
   json.EndObject();
   out << "\n";
   CLOVER_CHECK_MSG(out.good(), "short write to " << path);
@@ -113,4 +122,4 @@ void PrintSuiteTable(const SuiteTiming& suite) {
   table.Print(std::cout);
 }
 
-}  // namespace clover::bench
+}  // namespace clover::exp

@@ -1,0 +1,142 @@
+// Declarative experiment campaigns: the paper's result matrix as data.
+//
+// A campaign is a JSON file (campaigns/*.json, schema clover-campaign-v1)
+// describing a parameter *grid* — scheme x application x trace/region x
+// fleet size x objective knobs x seeds x fault seeds — that expands into
+// concrete experiment cells. The runner (exp/runner.h) executes the cells
+// sharded over the thread pool and folds them into one consolidated
+// CAMPAIGN_<name>.json. New scenarios cost a config file, not a bench
+// binary.
+//
+// Spec format (every unknown key is rejected, with line/column):
+//
+//   {
+//     "schema": "clover-campaign-v1",
+//     "name": "fig09_toy",                    // [A-Za-z0-9_.-]+
+//     "description": "...",                   // optional
+//     "mode": "single",                       // optional: single | fleet
+//     "threads": 2,                           // optional default shards
+//     "fault_profile": { ... },               // optional rate overrides
+//     "grid": { "<axis>": <value> | [<value>...], ... }
+//   }
+//
+// Single-cluster axes (core::ExperimentHarness cells):
+//   scheme     base | co2opt | blover | clover | oracle
+//   app        detection | language | classification
+//   trace      flat | step | ciso-march | ciso-september | eso-march |
+//              any named region preset (us-west, us-east, eu-west,
+//              ap-northeast)
+//   gpus       deployed cluster size            (default [2])
+//   sizing_gpus  cluster the arrival rate is sized for; 0 = gpus
+//   hours      trace span                       (default [1])
+//   lambda     objective weight                 (default [0.5])
+//   accuracy_limit_pct  threshold mode; null = unconstrained
+//   control_interval_s                          (default [300])
+//   seed       experiment seed                  (default [1])
+//   fault_seed 0 = fault-free; >0 seeds GenerateFaultSchedule with the
+//              campaign's fault_profile rates
+//
+// Fleet axes (fleet::RunFleet cells; single-cluster-only axes rejected):
+//   regions    array of region-preset name lists, e.g.
+//              [["us-west", "ap-northeast"]]
+//   router     static | least-loaded | carbon-greedy
+//   scheme, app, gpus (per region), hours, lambda, seed as above
+//
+// Expansion is a cross product in a fixed documented axis order (scheme
+// innermost, so a cell's BASE twin is adjacent), deterministic for a given
+// spec. Cells identical after normalization (e.g. sizing_gpus = gpus
+// listed both ways) are deduplicated, keeping the first occurrence.
+//
+// Determinism contract: a cell fully determines its results. Traces are
+// derived from (trace preset, hours, seed) with the same seed offset the
+// bench binaries use (bench_util EvalTrace's +41), so a campaign cell and
+// the corresponding bench run consume bit-identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "carbon/trace_generator.h"
+#include "common/json.h"
+#include "core/harness.h"
+#include "fleet/fleet_sim.h"
+#include "models/zoo.h"
+#include "sim/fault_injector.h"
+
+namespace clover::exp {
+
+enum class CampaignMode { kSingleCluster, kFleet };
+
+// One fully resolved experiment cell.
+struct CellSpec {
+  CampaignMode mode = CampaignMode::kSingleCluster;
+  core::Scheme scheme = core::Scheme::kClover;
+  models::Application app = models::Application::kClassification;
+  std::string trace = "ciso-march";       // single-cluster: trace preset
+  std::vector<std::string> regions;       // fleet: region preset names
+  fleet::RouterPolicy router = fleet::RouterPolicy::kStatic;  // fleet only
+  int gpus = 2;                           // per region in fleet mode
+  int sizing_gpus = 0;                    // 0 -> gpus (single-cluster only)
+  double hours = 1.0;
+  double lambda = 0.5;
+  std::optional<double> accuracy_limit_pct;
+  double control_interval_s = 300.0;
+  std::uint64_t seed = 1;
+  std::uint64_t fault_seed = 0;           // 0 = fault-free
+
+  // Stable unique key: encodes every parameter (fields at their documented
+  // defaults are elided, which keeps the encoding injective). Used as the
+  // scenario row name, the resume filename and the dedup key.
+  std::string Name() const;
+
+  // Human-readable one-liner for notes/summary columns.
+  std::string Describe() const;
+};
+
+bool operator==(const CellSpec& a, const CellSpec& b);
+
+struct CampaignSpec {
+  std::string name;
+  std::string description;
+  CampaignMode mode = CampaignMode::kSingleCluster;
+  int threads = 2;                     // default runner shards
+  sim::FaultProfile fault_profile;     // rates for fault_seed > 0 cells
+  std::vector<CellSpec> cells;         // expanded + deduplicated
+  int grid_cells = 0;                  // before dedup
+};
+
+// Parses and expands a campaign document. Throws JsonParseError with
+// line/column on every violation — syntactic or semantic.
+CampaignSpec ParseCampaignSpec(const JsonValue& doc);
+
+// ParseJsonFile + ParseCampaignSpec. I/O and JSON syntax errors carry the
+// path (ParseJsonFile prefixes them); semantic grid errors carry only the
+// line/column — callers validating several files (like the clover_campaign
+// CLI does) should print the path alongside the message themselves.
+CampaignSpec LoadCampaignSpec(const std::string& path);
+
+// Builds the cell's carbon trace: deterministic per cell, and identical to
+// the trace the bench binaries build for the same inputs.
+carbon::CarbonTrace MakeCellTrace(const CellSpec& cell);
+
+// Materializes a single-cluster cell (faults generated from fault_seed and
+// `profile` when fault_seed > 0). `trace` must outlive the config.
+core::ExperimentConfig MakeCellConfig(const CellSpec& cell,
+                                      const sim::FaultProfile& profile,
+                                      const carbon::CarbonTrace* trace);
+
+// Materializes a fleet cell. The fleet's internal thread count is pinned
+// to 1: campaign parallelism shards across cells, and fleet results are
+// bit-identical at any thread count anyway.
+fleet::FleetConfig MakeFleetCellConfig(const CellSpec& cell);
+
+// Stable fingerprint of the profile's rate/mean/multiplier knobs
+// (duration_s and num_gpus are per-cell, so they are excluded). A cell
+// name does not encode the campaign's fault_profile; resume journals of
+// fault cells store this fingerprint so an edited profile invalidates
+// them instead of silently resuming results for a different schedule.
+std::string FaultProfileFingerprint(const sim::FaultProfile& profile);
+
+}  // namespace clover::exp

@@ -1,0 +1,76 @@
+// Campaign execution: shard expanded cells over the thread pool, resume
+// from partial output, and fold everything into one consolidated
+// CAMPAIGN_<name>.json.
+//
+// Determinism contract (enforced by tests/campaign_test.cc): a cell's
+// results are a function of the cell alone — every run builds its own
+// trace and simulator state, and the fold is by cell index — so campaign
+// results are bit-identical at any thread count, and bit-identical to
+// running the same ExperimentConfig directly through the harness (the
+// bench path).
+//
+// Resume: every finished cell is journaled to <out>/runs/<cell>.json
+// (schema clover-campaign-run-v1) as it completes. A re-run with
+// resume = true loads every journal whose cell name matches and only
+// executes the missing cells; truncated or unparsable journals (a killed
+// run's torn write) are discarded and re-executed, as are fault-cell
+// journals whose recorded fault_profile fingerprint no longer matches the
+// spec (cell names do not encode the profile rates). The consolidated
+// scenario rows of a resumed campaign are identical to a fresh run's
+// (resumed rows reuse the journaled wall time).
+//
+// Consolidated document: a clover-bench-v1 document (validated by
+// scripts/validate_bench_json.py like every BENCH_*.json) with one
+// scenario row per unique cell, plus a "campaign" object carrying the
+// grid bookkeeping and a per-cell summary table with vs-BASE columns
+// (carbon save, accuracy loss, p95 ratio) wherever the campaign also ran
+// the cell's BASE twin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/bench_json.h"
+#include "exp/campaign.h"
+
+namespace clover::exp {
+
+struct CampaignOptions {
+  int threads = 0;                 // 0 -> spec.threads
+  std::string out_dir = "campaign_out";
+  bool resume = false;             // reuse <out>/runs/ journals
+  bool write_files = true;         // journals + consolidated JSON
+  bool print_tables = false;       // human summary on stdout
+};
+
+struct CellOutcome {
+  CellSpec cell;
+  bool resumed = false;
+  double wall_seconds = 0.0;       // executed (or journaled) wall time
+  std::uint64_t candidates = 0;    // optimizer evaluations
+  // Full report for executed cells. Resumed cells carry the journaled
+  // scalar fields (counters, totals, quantiles); window series and
+  // optimization bookkeeping are not journaled.
+  core::RunReport report;
+};
+
+struct CampaignResult {
+  std::string name;
+  int threads = 1;
+  std::vector<CellOutcome> cells;  // grid order (post-dedup)
+  int grid_cells = 0;              // before dedup
+  int resumed_cells = 0;
+  double wall_seconds = 0.0;
+  SuiteTiming suite;               // the consolidated scenario rows
+  std::string consolidated_path;   // "" when !write_files
+};
+
+CampaignResult RunCampaign(const CampaignSpec& spec,
+                           const CampaignOptions& options);
+
+// The consolidated scenario row for one cell — shared by the runner and
+// by bench_runner's campaign-backed scenarios so the two cannot drift.
+ScenarioTiming CellScenarioRow(const CellOutcome& outcome);
+
+}  // namespace clover::exp

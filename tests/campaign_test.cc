@@ -1,0 +1,398 @@
+// Campaign engine coverage (src/exp/): spec parsing diagnostics, grid
+// expansion determinism and dedup, resume-from-partial-output, and THE
+// acceptance gate — campaigns/fig09_toy.json through the campaign runner
+// is bit-identical to the direct harness path (the same six runs the fig09
+// bench executes), at 1 and at 8 threads.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "carbon/trace_generator.h"
+#include "common/json.h"
+#include "exp/campaign.h"
+#include "exp/runner.h"
+#include "models/zoo.h"
+
+namespace clover::exp {
+namespace {
+
+CampaignSpec ParseSpecText(const std::string& text) {
+  return ParseCampaignSpec(ParseJson(text));
+}
+
+std::string FigToyPath() {
+  return std::string(CLOVER_SOURCE_DIR) + "/campaigns/fig09_toy.json";
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing and expansion.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignSpecTest, ExpandsTheCrossProductSchemeInnermost) {
+  const CampaignSpec spec = ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "order",
+    "grid": {
+      "scheme": ["base", "clover"],
+      "app": ["detection", "classification"],
+      "trace": "flat",
+      "gpus": 2,
+      "hours": 0.5
+    }
+  })");
+  ASSERT_EQ(spec.cells.size(), 4u);
+  EXPECT_EQ(spec.grid_cells, 4);
+  EXPECT_EQ(spec.cells[0].Name(), "base-detection-flat-g2-h0.5-s1");
+  EXPECT_EQ(spec.cells[1].Name(), "clover-detection-flat-g2-h0.5-s1");
+  EXPECT_EQ(spec.cells[2].Name(), "base-classification-flat-g2-h0.5-s1");
+  EXPECT_EQ(spec.cells[3].Name(), "clover-classification-flat-g2-h0.5-s1");
+}
+
+TEST(CampaignSpecTest, ExpansionIsDeterministic) {
+  const std::string text = R"({
+    "schema": "clover-campaign-v1",
+    "name": "det",
+    "grid": {
+      "scheme": ["clover", "base"],
+      "app": ["language"],
+      "trace": ["step", "flat"],
+      "gpus": [2, 4],
+      "hours": [0.5, 1],
+      "lambda": [0.25, 0.75],
+      "seed": [1, 2],
+      "fault_seed": [0, 9]
+    }
+  })";
+  const CampaignSpec a = ParseSpecText(text);
+  const CampaignSpec b = ParseSpecText(text);
+  ASSERT_EQ(a.cells.size(), 128u);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_TRUE(a.cells[i] == b.cells[i]);
+    EXPECT_EQ(a.cells[i].Name(), b.cells[i].Name());
+  }
+  // Names are injective over distinct cells.
+  std::set<std::string> names;
+  for (const CellSpec& cell : a.cells) names.insert(cell.Name());
+  EXPECT_EQ(names.size(), a.cells.size());
+}
+
+TEST(CampaignSpecTest, DeduplicatesNormalizedIdenticalCells) {
+  // gpus listed twice and sizing_gpus given both as 0 (= gpus) and
+  // explicitly as the same value: 2*2*2 = 8 grid cells, 2 unique.
+  const CampaignSpec spec = ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "dedup",
+    "grid": {
+      "scheme": ["base", "clover"],
+      "app": "classification",
+      "trace": "flat",
+      "gpus": [2, 2],
+      "sizing_gpus": [0, 2],
+      "hours": 0.5
+    }
+  })");
+  EXPECT_EQ(spec.grid_cells, 8);
+  ASSERT_EQ(spec.cells.size(), 2u);
+  EXPECT_EQ(spec.cells[0].Name(), "base-classification-flat-g2-h0.5-s1");
+  EXPECT_EQ(spec.cells[1].Name(), "clover-classification-flat-g2-h0.5-s1");
+}
+
+TEST(CampaignSpecTest, RejectionsCarryLineAndColumn) {
+  // Unknown grid axis.
+  try {
+    ParseSpecText("{\n  \"schema\": \"clover-campaign-v1\",\n"
+                  "  \"name\": \"bad\",\n"
+                  "  \"grid\": {\"scheme\": \"base\", \"app\": \"language\",\n"
+                  "           \"gpu\": 2}\n}");
+    FAIL() << "accepted an unknown axis";
+  } catch (const JsonParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown grid axis \"gpu\""),
+              std::string::npos)
+        << error.what();
+    EXPECT_EQ(error.line(), 5);
+  }
+  // Unknown scheme value.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "grid": {"scheme": "fastest", "app": "language"}
+  })"),
+               JsonParseError);
+  // Wrong schema tag.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-bench-v1",
+    "name": "bad",
+    "grid": {"scheme": "base", "app": "language"}
+  })"),
+               JsonParseError);
+  // Fleet-only axis in single mode.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "grid": {"scheme": "base", "app": "language",
+             "router": "carbon-greedy"}
+  })"),
+               JsonParseError);
+  // Single-only axis in fleet mode.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "mode": "fleet",
+    "grid": {"scheme": "base", "app": "language",
+             "regions": [["us-west"]], "trace": "flat"}
+  })"),
+               JsonParseError);
+  // Out-of-range value.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "grid": {"scheme": "base", "app": "language", "gpus": 0}
+  })"),
+               JsonParseError);
+  // Unsafe campaign name (path separator).
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "../escape",
+    "grid": {"scheme": "base", "app": "language"}
+  })"),
+               JsonParseError);
+}
+
+TEST(CampaignSpecTest, CheckedInPresetsAllParse) {
+  const std::string dir = std::string(CLOVER_SOURCE_DIR) + "/campaigns";
+  int specs = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++specs;
+    const CampaignSpec spec = LoadCampaignSpec(entry.path().string());
+    EXPECT_FALSE(spec.cells.empty()) << entry.path();
+  }
+  EXPECT_GE(specs, 9) << "checked-in campaign presets went missing";
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance gate: fig09_toy through the campaign runner, vs the
+// direct harness path, at 1 and 8 threads — all bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRunnerTest, Fig09ToyMatchesDirectPathAtOneAndEightThreads) {
+  const CampaignSpec spec = LoadCampaignSpec(FigToyPath());
+  ASSERT_EQ(spec.cells.size(), 6u);
+
+  CampaignOptions options;
+  options.write_files = false;
+  options.threads = 1;
+  const CampaignResult serial = RunCampaign(spec, options);
+  options.threads = 8;
+  const CampaignResult parallel = RunCampaign(spec, options);
+
+  // Direct path: the same trace and configs the fig09 bench builds
+  // (bench_util EvalTrace seeds the trace at seed + 41), run straight
+  // through one harness.
+  carbon::TraceGeneratorOptions trace_options;
+  trace_options.duration_hours = 1.0;
+  trace_options.seed = 1 + 41;
+  const carbon::CarbonTrace trace =
+      carbon::GenerateTrace(carbon::TraceProfile::kCisoMarch, trace_options);
+  core::ExperimentHarness harness(&models::DefaultZoo());
+
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    const CellSpec& cell = spec.cells[i];
+    core::ExperimentConfig config;
+    config.app = cell.app;
+    config.scheme = cell.scheme;
+    config.trace = &trace;
+    config.duration_hours = 1.0;
+    config.num_gpus = 2;
+    config.sizing_gpus = 2;
+    config.seed = 1;
+    const core::RunReport direct = harness.Run(config);
+    EXPECT_TRUE(core::RunReportsBitIdentical(direct, serial.cells[i].report))
+        << cell.Name() << ": campaign(1 thread) != direct";
+    EXPECT_TRUE(
+        core::RunReportsBitIdentical(direct, parallel.cells[i].report))
+        << cell.Name() << ": campaign(8 threads) != direct";
+    EXPECT_EQ(serial.cells[i].candidates, parallel.cells[i].candidates)
+        << cell.Name();
+  }
+
+  // The consolidated rows must agree on every simulated metric too.
+  ASSERT_EQ(serial.suite.scenarios.size(), parallel.suite.scenarios.size());
+  for (std::size_t i = 0; i < serial.suite.scenarios.size(); ++i) {
+    const ScenarioTiming& a = serial.suite.scenarios[i];
+    const ScenarioTiming& b = parallel.suite.scenarios[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.sim_p50_ms, b.sim_p50_ms);
+    EXPECT_EQ(a.sim_p99_ms, b.sim_p99_ms);
+    EXPECT_EQ(a.notes, b.notes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resume-from-partial-output.
+// ---------------------------------------------------------------------------
+
+CampaignSpec TinyCampaign() {
+  return ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "tiny",
+    "grid": {
+      "scheme": ["base", "clover"],
+      "app": "classification",
+      "trace": ["flat", "step"],
+      "gpus": 2,
+      "hours": 0.25
+    }
+  })");
+}
+
+TEST(CampaignRunnerTest, ResumesFromPartialOutputAndRerunsDamage) {
+  const CampaignSpec spec = TinyCampaign();
+  ASSERT_EQ(spec.cells.size(), 4u);
+  const std::string out_dir =
+      ::testing::TempDir() + "/campaign_resume_test";
+  std::filesystem::remove_all(out_dir);
+
+  CampaignOptions options;
+  options.out_dir = out_dir;
+  options.threads = 2;
+  const CampaignResult first = RunCampaign(spec, options);
+  EXPECT_EQ(first.resumed_cells, 0);
+  ASSERT_TRUE(std::filesystem::exists(first.consolidated_path));
+
+  // Partial output: delete one journal (cell must re-run) and truncate
+  // another mid-document (torn write from a killed campaign; must be
+  // discarded and re-run, not trusted).
+  const std::string deleted_path =
+      out_dir + "/runs/" + spec.cells[1].Name() + ".json";
+  const std::string torn_path =
+      out_dir + "/runs/" + spec.cells[2].Name() + ".json";
+  ASSERT_TRUE(std::filesystem::remove(deleted_path));
+  {
+    std::ifstream in(torn_path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    ASSERT_GT(content.size(), 40u);
+    std::ofstream out(torn_path, std::ios::trunc);
+    out << content.substr(0, content.size() / 2);
+  }
+
+  options.resume = true;
+  const CampaignResult second = RunCampaign(spec, options);
+  EXPECT_EQ(second.resumed_cells, 2);
+
+  // Re-executed cells reproduce the first run bit-identically; resumed
+  // cells carry the journaled scalars. Either way, every consolidated row
+  // matches the fresh run on all simulated metrics.
+  EXPECT_TRUE(core::RunReportsBitIdentical(first.cells[1].report,
+                                           second.cells[1].report));
+  EXPECT_TRUE(core::RunReportsBitIdentical(first.cells[2].report,
+                                           second.cells[2].report));
+  ASSERT_EQ(first.suite.scenarios.size(), second.suite.scenarios.size());
+  for (std::size_t i = 0; i < first.suite.scenarios.size(); ++i) {
+    const ScenarioTiming& a = first.suite.scenarios[i];
+    const ScenarioTiming& b = second.suite.scenarios[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.sim_p50_ms, b.sim_p50_ms);
+    EXPECT_EQ(a.sim_p99_ms, b.sim_p99_ms);
+    EXPECT_EQ(a.notes, b.notes);
+  }
+  // Resumed rows reuse the journaled wall time exactly.
+  EXPECT_EQ(first.cells[0].wall_seconds, second.cells[0].wall_seconds);
+
+  // A fully journaled campaign resumes without executing anything.
+  const CampaignResult third = RunCampaign(spec, options);
+  EXPECT_EQ(third.resumed_cells, 4);
+}
+
+TEST(CampaignRunnerTest, ResumeRejectsJournalsFromAnEditedFaultProfile) {
+  // A cell's name encodes its fault *seed* but not the campaign's
+  // fault_profile rates; the journal's profile fingerprint must catch the
+  // edit, or resume would silently adopt results for a different fault
+  // schedule.
+  const char* spec_template = R"({
+    "schema": "clover-campaign-v1",
+    "name": "fault_resume",
+    "fault_profile": {"flash_crowds_per_hour": %s,
+                      "flash_crowd_multiplier": 2.5},
+    "grid": {
+      "scheme": "base",
+      "app": "classification",
+      "trace": "flat",
+      "gpus": 2,
+      "hours": 0.25,
+      "fault_seed": [0, 3]
+    }
+  })";
+  auto spec_with_rate = [&](const char* rate) {
+    char buffer[1024];
+    std::snprintf(buffer, sizeof(buffer), spec_template, rate);
+    return ParseSpecText(buffer);
+  };
+  const std::string out_dir =
+      ::testing::TempDir() + "/campaign_fault_resume_test";
+  std::filesystem::remove_all(out_dir);
+
+  CampaignOptions options;
+  options.out_dir = out_dir;
+  options.threads = 1;
+  const CampaignResult first = RunCampaign(spec_with_rate("4.0"), options);
+  ASSERT_EQ(first.cells.size(), 2u);
+
+  options.resume = true;
+  // Unchanged profile: both cells resume.
+  EXPECT_EQ(RunCampaign(spec_with_rate("4.0"), options).resumed_cells, 2);
+  // Edited rate: the fault cell (fault_seed 3) must re-run; the fault-free
+  // cell's results do not depend on the profile and still resume.
+  const CampaignResult edited = RunCampaign(spec_with_rate("8.0"), options);
+  EXPECT_EQ(edited.resumed_cells, 1);
+  EXPECT_TRUE(edited.cells[0].resumed);
+  EXPECT_FALSE(edited.cells[1].resumed);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-mode cells.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignRunnerTest, FleetCellsRunAndAreThreadCountInvariant) {
+  const CampaignSpec spec = ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "fleet_tiny",
+    "mode": "fleet",
+    "grid": {
+      "scheme": "base",
+      "app": "classification",
+      "regions": [["us-west", "ap-northeast"]],
+      "router": ["static", "carbon-greedy"],
+      "gpus": 2,
+      "hours": 1
+    }
+  })");
+  ASSERT_EQ(spec.cells.size(), 2u);
+  EXPECT_EQ(spec.cells[0].Name(),
+            "fleet-base-classification-static-us-west+ap-northeast-g2-h1-s1");
+
+  CampaignOptions options;
+  options.write_files = false;
+  options.threads = 1;
+  const CampaignResult serial = RunCampaign(spec, options);
+  options.threads = 2;
+  const CampaignResult parallel = RunCampaign(spec, options);
+  for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+    EXPECT_GT(serial.cells[i].report.completions, 0u);
+    EXPECT_TRUE(core::RunReportsBitIdentical(serial.cells[i].report,
+                                             parallel.cells[i].report));
+  }
+}
+
+}  // namespace
+}  // namespace clover::exp

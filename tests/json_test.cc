@@ -1,7 +1,9 @@
-// Edge-case coverage for the streaming JSON writer (common/json.h): string
-// escaping, non-finite doubles, nesting/separator bookkeeping, and a full
-// clover-bench-v1 document round-tripped through
-// scripts/validate_bench_json.py (the consumer CI trusts).
+// Edge-case coverage for the streaming JSON writer and the strict reader
+// (common/json.h): string escaping, non-finite doubles, nesting/separator
+// bookkeeping, a full clover-bench-v1 document round-tripped through
+// scripts/validate_bench_json.py (the consumer CI trusts), and the
+// reader's rejection paths — every one with the line/column the campaign
+// spec loader relies on for diagnostics.
 #include "common/json.h"
 
 #include <gtest/gtest.h>
@@ -205,6 +207,219 @@ TEST(JsonWriter, BenchDocumentRoundTripsThroughTheValidator) {
   }
   EXPECT_NE(RunValidator(bad_path), 0)
       << "validator accepted a wrong-schema document";
+}
+
+// ---------------------------------------------------------------------------
+// Reader: accepted documents.
+// ---------------------------------------------------------------------------
+
+TEST(JsonReader, ParsesScalarsContainersAndPositions) {
+  const JsonValue doc = ParseJson(
+      "{\n"
+      "  \"name\": \"smoke\",\n"
+      "  \"threads\": 2,\n"
+      "  \"ratio\": -2.5e-1,\n"
+      "  \"on\": true,\n"
+      "  \"off\": false,\n"
+      "  \"none\": null,\n"
+      "  \"grid\": [1, 2, 3]\n"
+      "}\n");
+  EXPECT_EQ(doc.At("name").AsString(), "smoke");
+  EXPECT_EQ(doc.At("threads").AsInt(), 2);
+  EXPECT_EQ(doc.At("threads").AsUInt(), 2u);
+  EXPECT_DOUBLE_EQ(doc.At("ratio").AsNumber(), -0.25);
+  EXPECT_TRUE(doc.At("on").AsBool());
+  EXPECT_FALSE(doc.At("off").AsBool());
+  EXPECT_TRUE(doc.At("none").is_null());
+  ASSERT_EQ(doc.At("grid").AsArray().size(), 3u);
+  EXPECT_EQ(doc.At("grid").AsArray()[2].AsInt(), 3);
+  EXPECT_EQ(doc.Find("absent"), nullptr);
+  // Positions are 1-based (the value, not its key).
+  EXPECT_EQ(doc.line(), 1);
+  EXPECT_EQ(doc.column(), 1);
+  EXPECT_EQ(doc.At("name").line(), 2);
+  EXPECT_EQ(doc.At("name").column(), 11);
+  EXPECT_EQ(doc.At("grid").line(), 8);
+}
+
+TEST(JsonReader, DecodesEscapesIncludingSurrogatePairs) {
+  const JsonValue doc = ParseJson(
+      "\"q\\\" b\\\\ s\\/ \\b\\f\\n\\r\\t u\\u00b5 pair\\ud83d\\ude00\"");
+  EXPECT_EQ(doc.AsString(),
+            "q\" b\\ s/ \b\f\n\r\t u\xc2\xb5 pair\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, WriterOutputRoundTripsBitExactly) {
+  std::ostringstream out;
+  {
+    JsonWriter json(&out);
+    json.BeginObject();
+    json.Key("we\"ird\nkey");
+    json.BeginArray();
+    json.Number(0.1);
+    json.Number(-2.5e-7);
+    json.UInt(9007199254740991ULL);  // largest exact double integer
+    json.Int(-42);
+    json.Null();
+    json.Bool(true);
+    json.String("gCO\xe2\x82\x82 \x01 control");
+    json.EndArray();
+    json.EndObject();
+  }
+  const JsonValue doc = ParseJson(out.str());
+  const std::vector<JsonValue>& row = doc.At("we\"ird\nkey").AsArray();
+  ASSERT_EQ(row.size(), 7u);
+  EXPECT_EQ(row[0].AsNumber(), 0.1);
+  EXPECT_EQ(row[1].AsNumber(), -2.5e-7);
+  EXPECT_EQ(row[2].AsUInt(), 9007199254740991ULL);
+  EXPECT_EQ(row[3].AsInt(), -42);
+  EXPECT_TRUE(row[4].is_null());
+  EXPECT_TRUE(row[5].AsBool());
+  EXPECT_EQ(row[6].AsString(), "gCO\xe2\x82\x82 \x01 control");
+}
+
+TEST(JsonReader, NestingUpToTheDepthLimitParses) {
+  JsonReaderOptions options;
+  options.max_depth = 8;
+  std::string text;
+  for (int i = 0; i < 8; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < 8; ++i) text += "]";
+  const JsonValue doc = ParseJson(text, options);
+  EXPECT_TRUE(doc.is_array());
+}
+
+// ---------------------------------------------------------------------------
+// Reader: rejection paths. Every diagnostic names line and column.
+// ---------------------------------------------------------------------------
+
+void ExpectParseError(const std::string& text, const std::string& fragment,
+                      int line, int column) {
+  try {
+    ParseJson(text);
+    FAIL() << "accepted: " << text;
+  } catch (const JsonParseError& error) {
+    EXPECT_EQ(error.line(), line) << error.what();
+    EXPECT_EQ(error.column(), column) << error.what();
+    EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos)
+        << "diagnostic \"" << error.what() << "\" lacks \"" << fragment
+        << "\"";
+    // The positioned prefix must be embedded in what() itself.
+    EXPECT_NE(std::string(error.what()).find("line "), std::string::npos);
+  }
+}
+
+TEST(JsonReader, RejectsTruncatedInput) {
+  ExpectParseError("", "unexpected end of input", 1, 1);
+  ExpectParseError("{\"a\": 1,\n", "unexpected end of input", 2, 1);
+  ExpectParseError("[1, 2", "unexpected end of input", 1, 6);
+  ExpectParseError("\"abc", "unterminated string", 1, 5);
+  ExpectParseError("{\"a\"", "unexpected end of input", 1, 5);
+  ExpectParseError("tru", "invalid literal", 1, 4);
+}
+
+TEST(JsonReader, RejectsTrailingGarbage) {
+  ExpectParseError("{} {}", "trailing content", 1, 4);
+  ExpectParseError("1 2", "trailing content", 1, 3);
+  ExpectParseError("null\nx", "trailing content", 2, 1);
+}
+
+TEST(JsonReader, RejectsDuplicateKeysAtTheSecondDefinition) {
+  ExpectParseError("{\"a\": 1,\n \"a\": 2}", "duplicate object key \"a\"", 2,
+                   2);
+}
+
+TEST(JsonReader, RejectsNestingPastTheDepthLimit) {
+  std::string text;
+  for (int i = 0; i < 65; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < 65; ++i) text += "]";
+  try {
+    ParseJson(text);
+    FAIL() << "accepted 65-deep nesting";
+  } catch (const JsonParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("nesting deeper than 64"),
+              std::string::npos)
+        << error.what();
+    EXPECT_EQ(error.line(), 1);
+    EXPECT_EQ(error.column(), 65);
+  }
+}
+
+TEST(JsonReader, RejectsBadEscapes) {
+  ExpectParseError("\"\\q\"", "invalid escape sequence '\\q'", 1, 4);
+  ExpectParseError("\"\\u12g4\"", "invalid hex digit 'g'", 1, 7);
+  ExpectParseError("\"\\ud800 lone\"", "unpaired surrogate", 1, 8);
+  ExpectParseError("\"\\udc00\"", "unpaired low surrogate", 1, 8);
+  ExpectParseError("\"\\ud83d\\u0041\"", "invalid low surrogate", 1, 14);
+}
+
+TEST(JsonReader, RejectsRawControlCharactersInStrings) {
+  ExpectParseError(std::string("\"a") + '\x01' + "b\"",
+                   "raw control character", 1, 4);
+}
+
+TEST(JsonReader, RejectsMalformedNumbers) {
+  ExpectParseError("01", "leading zero", 1, 1);
+  ExpectParseError("[1.]", "digits must follow", 1, 2);
+  ExpectParseError("-", "malformed number", 1, 1);
+  ExpectParseError("[1e]", "empty exponent", 1, 2);
+  ExpectParseError("1e999", "out of double range", 1, 1);
+  // JSON has no non-finite literals; they arrive as null (writer contract).
+  ExpectParseError("NaN", "unexpected character", 1, 1);
+}
+
+TEST(JsonReader, RejectsStructuralMistakes) {
+  ExpectParseError("{\"a\" 1}", "expected ':'", 1, 6);
+  ExpectParseError("{a: 1}", "expected a string object key", 1, 2);
+  ExpectParseError("[1 2]", "expected ',' or ']'", 1, 4);
+  ExpectParseError("{\"a\": 1 \"b\": 2}", "expected ',' or '}'", 1, 9);
+}
+
+TEST(JsonReader, CheckedAccessorsPointAtTheValue) {
+  const JsonValue doc = ParseJson("{\n  \"gpus\": \"two\"\n}");
+  try {
+    doc.At("gpus").AsInt();
+    FAIL() << "AsInt accepted a string";
+  } catch (const JsonParseError& error) {
+    EXPECT_EQ(error.line(), 2);
+    EXPECT_EQ(error.column(), 11);
+    EXPECT_NE(std::string(error.what()).find("expected a number"),
+              std::string::npos);
+  }
+  EXPECT_THROW(ParseJson("12.5").AsInt(), JsonParseError);
+  EXPECT_THROW(ParseJson("-1").AsUInt(), JsonParseError);
+  EXPECT_THROW(ParseJson("1e300").AsInt(), JsonParseError);
+  // 2^53 + 1 parses to the rounded double 2^53; accepting it would
+  // silently run a different seed than the config wrote.
+  EXPECT_THROW(ParseJson("9007199254740993").AsUInt(), JsonParseError);
+  EXPECT_THROW(ParseJson("-9007199254740993").AsInt(), JsonParseError);
+  EXPECT_EQ(ParseJson("9007199254740991").AsUInt(), 9007199254740991ULL);
+  EXPECT_THROW(ParseJson("{}").At("missing"), JsonParseError);
+  EXPECT_THROW(ParseJson("[]").AsObject(), JsonParseError);
+}
+
+TEST(JsonReader, FileErrorsNameThePath) {
+  try {
+    ParseJsonFile("/nonexistent/campaign.json");
+    FAIL() << "opened a nonexistent file";
+  } catch (const JsonParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("/nonexistent/campaign.json"),
+              std::string::npos);
+  }
+  const std::string path = ::testing::TempDir() + "/truncated.json";
+  {
+    std::ofstream out(path);
+    out << "{\"a\": [1,\n2,";
+  }
+  try {
+    ParseJsonFile(path);
+    FAIL() << "accepted a truncated file";
+  } catch (const JsonParseError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -10,13 +10,7 @@ namespace clover::testing {
 
 carbon::CarbonTrace FlatTrace(double g_per_kwh, double duration_hours,
                               double sample_interval_s) {
-  CLOVER_CHECK(g_per_kwh > 0.0);
-  CLOVER_CHECK(duration_hours > 0.0);
-  const auto samples = static_cast<std::size_t>(
-      std::ceil(duration_hours * 3600.0 / sample_interval_s)) + 1;
-  return carbon::CarbonTrace("flat-" + std::to_string(g_per_kwh),
-                             sample_interval_s,
-                             std::vector<double>(samples, g_per_kwh));
+  return carbon::FlatTrace(g_per_kwh, duration_hours, sample_interval_s);
 }
 
 carbon::CarbonTrace ProfileTrace(carbon::TraceProfile profile,
@@ -30,21 +24,8 @@ carbon::CarbonTrace ProfileTrace(carbon::TraceProfile profile,
 carbon::CarbonTrace StepTrace(double low, double high, double period_hours,
                               double duration_hours,
                               double sample_interval_s) {
-  CLOVER_CHECK(low > 0.0 && high > low);
-  CLOVER_CHECK(period_hours > 0.0 && duration_hours > 0.0);
-  const double period_s = period_hours * 3600.0;
-  const auto samples = static_cast<std::size_t>(
-      std::ceil(duration_hours * 3600.0 / sample_interval_s)) + 1;
-  std::vector<double> values(samples);
-  for (std::size_t i = 0; i < samples; ++i) {
-    const double t = static_cast<double>(i) * sample_interval_s;
-    const bool high_phase =
-        static_cast<std::uint64_t>(std::floor(t / period_s)) % 2 == 1;
-    values[i] = high_phase ? high : low;
-  }
-  return carbon::CarbonTrace("step-" + std::to_string(low) + "-" +
-                                 std::to_string(high),
-                             sample_interval_s, std::move(values));
+  return carbon::StepTrace(low, high, period_hours, duration_hours,
+                           sample_interval_s);
 }
 
 }  // namespace clover::testing

@@ -1,10 +1,13 @@
 // Carbon-intensity trace fixtures for the scenario matrix.
 //
 // The synthetic profiles in carbon/trace_generator.h reproduce the paper's
-// grids; the fixtures here add the degenerate shapes tests need on top:
+// grids; the fixtures here expose the degenerate shapes tests need on top:
 // a flat trace (isolates energy-driven savings from intensity-chasing) and
 // a square-wave step trace (deterministic sharp swings that exercise the
-// controller's CI trigger without OU-process noise).
+// controller's CI trigger without OU-process noise). Both forward to the
+// shared builders in carbon/trace_generator.h — the campaign engine's
+// "flat"/"step" presets use the same construction, so the two can never
+// drift.
 #pragma once
 
 #include <cstdint>
