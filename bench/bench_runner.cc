@@ -12,6 +12,17 @@
 // Scenarios:
 //   sim_hot_path     raw discrete-event simulator throughput (events/sec,
 //                    p50/p99 simulated latency) on a BASE cluster
+//   sharded_sim      ShardedClusterSim (sim/sharded_sim.h): independent
+//                    lanes over the thread pool with the epoch-barrier
+//                    merge; reports merged events/sec and enforces the
+//                    shard determinism contract (--threads vs 1 thread
+//                    must be bit-identical) via exit status
+//   opt_screened     screen-then-simulate random search: the analytic
+//                    surrogate (opt/surrogate.h) ranks a 16x oversampled
+//                    pool, only the top slice is simulated; candidates
+//                    counts considered configurations (simulated +
+//                    screened) and the notes give the throughput ratio
+//                    against the unscreened rate
 //   opt_random       random search over ReplayEvaluator batches, 1 thread
 //                    vs --threads; reports candidates/sec, speedup, and
 //                    whether the two runs were bit-identical
@@ -53,7 +64,9 @@
 #include "models/zoo.h"
 #include "opt/evaluator.h"
 #include "opt/random_search.h"
+#include "opt/surrogate.h"
 #include "sim/arrivals.h"
+#include "sim/sharded_sim.h"
 #include "timing.h"
 
 namespace clover::bench {
@@ -126,6 +139,9 @@ struct SuiteScale {
   double e2e_hours = 2.0;           // e2e_step span
   int fleet_gpus = 2;               // per fleet region
   double fleet_hours = 2.0;         // fleet_routing span
+  int shard_lanes = 8;              // sharded_sim lane count
+  double shard_seconds = 600.0;     // sharded_sim span
+  int screen_factor = 16;           // opt_screened oversampling factor
 };
 
 SuiteScale ScaleFor(const std::string& suite) {
@@ -137,6 +153,8 @@ SuiteScale ScaleFor(const std::string& suite) {
     scale.e2e_hours = 12.0;
     scale.fleet_gpus = 5;
     scale.fleet_hours = 12.0;
+    scale.shard_lanes = 16;
+    scale.shard_seconds = 3600.0;
   }
   return scale;
 }
@@ -175,6 +193,55 @@ ScenarioTiming RunSimHotPath(const RunnerFlags& flags,
   timing.notes = std::to_string(scale.gpus) + " GPUs, " +
                  std::to_string(static_cast<int>(scale.sim_seconds)) +
                  " simulated seconds";
+  return timing;
+}
+
+// ---------------------------------------------------------------------------
+// sharded_sim: lane-parallel simulation with the epoch-barrier merge.
+// ---------------------------------------------------------------------------
+ScenarioTiming RunShardedSim(const RunnerFlags& flags, const SuiteScale& scale,
+                             const carbon::CarbonTrace& trace) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const models::Application app = models::Application::kClassification;
+  // Small lanes, many of them: 2 GPUs per lane keeps the per-lane state
+  // tiny so the scenario measures the sharding machinery, not one lane.
+  const int lane_gpus = 2;
+  const serving::Deployment lane = serving::MakeBase(app, lane_gpus);
+  sim::ShardedSimOptions options;
+  options.num_lanes = scale.shard_lanes;
+  options.base.arrival_rate_qps =
+      sim::SizeArrivalRate(zoo, app, lane_gpus) * options.num_lanes;
+  options.base.seed = flags.seed;
+
+  sim::ShardedClusterSim sharded(lane, zoo, &trace, options);
+  ThreadPool pool(flags.threads);
+  WallTimer timer;
+  sharded.AdvanceTo(scale.shard_seconds, &pool);
+  const double wall = timer.Seconds();
+  const sim::ShardedSummary summary = sharded.Summary();
+
+  ScenarioTiming timing;
+  timing.name = "sharded_sim";
+  timing.wall_seconds = wall;
+  timing.events = summary.sim_events;
+  timing.events_per_sec =
+      wall > 0.0 ? static_cast<double>(timing.events) / wall : 0.0;
+  timing.sim_p50_ms = summary.p50_ms;
+  timing.sim_p99_ms = summary.p99_ms;
+  // The shard determinism contract: the thread count decides which slot
+  // advances which lane, never what any lane computes. A serial twin must
+  // reproduce the parallel run bit for bit (vacuous at --threads 1).
+  if (flags.threads > 1) {
+    sim::ShardedClusterSim twin(lane, zoo, &trace, options);
+    twin.AdvanceTo(scale.shard_seconds, nullptr);
+    timing.deterministic =
+        sim::ShardedSummariesBitIdentical(summary, twin.Summary());
+  }
+  timing.notes = std::to_string(options.num_lanes) + " lanes x " +
+                 std::to_string(lane_gpus) + " GPUs, " +
+                 std::to_string(static_cast<int>(scale.shard_seconds)) +
+                 " simulated seconds, " + std::to_string(flags.threads) +
+                 " threads";
   return timing;
 }
 
@@ -278,6 +345,82 @@ SearchRun RunAnnealOnce(const OptContext& context, const RunnerFlags& flags,
   run.result = annealer.Run(context.start, context.params, context.ci);
   run.wall_seconds = timer.Seconds();
   return run;
+}
+
+// Random search with the analytic fast tier installed: each round draws
+// screen_factor x batch_size candidates, the surrogate ranks them, and only
+// the top batch-size slice pays for a replay evaluation.
+SearchRun RunScreenedOnce(const OptContext& context, const RunnerFlags& flags,
+                          const SuiteScale& scale, int threads) {
+  ThreadPool pool(threads);
+  opt::ParallelBatchEvaluator batch(&pool, MakeReplicas(context, threads));
+  opt::ReplayEvaluator fallback(context.zoo, context.trace, context.gpus,
+                                context.replay);
+  graph::GraphMapper mapper(context.zoo, context.gpus);
+  opt::SurrogateEvaluator surrogate(
+      context.zoo, context.gpus,
+      opt::SurrogateEvaluator::FromReplay(context.replay,
+                                          sim::ServiceModel::kJittered,
+                                          perf::kServiceJitterSigma));
+  opt::RandomSearch::Options options;
+  options.max_evaluations = scale.candidates;
+  options.no_improve_limit = 1 << 30;
+  options.time_budget_s = 1e12;
+  options.batch_size = scale.random_batch;
+  options.screen_factor = scale.screen_factor;
+  opt::RandomSearch search(&fallback, &mapper, options, flags.seed);
+  search.SetBatchEvaluator(&batch);
+  search.SetSurrogate(&surrogate);
+
+  SearchRun run;
+  WallTimer timer;
+  run.result = search.Run(context.start, context.params, context.ci);
+  run.wall_seconds = timer.Seconds();
+  return run;
+}
+
+// Screen-then-simulate throughput: candidates counts every configuration
+// the search *considered* (simulated + surrogate-screened) — the fidelity
+// tier's whole point is that considering a candidate no longer requires
+// simulating it. The unscreened run with the same thread count anchors the
+// throughput ratio in the notes.
+ScenarioTiming RunOptScreened(const OptContext& context,
+                              const RunnerFlags& flags,
+                              const SuiteScale& scale) {
+  const SearchRun baseline = RunRandomOnce(context, flags, scale,
+                                           flags.threads);
+  const SearchRun serial = RunScreenedOnce(context, flags, scale, 1);
+  const SearchRun parallel = RunScreenedOnce(context, flags, scale,
+                                             flags.threads);
+
+  ScenarioTiming timing;
+  timing.name = "opt_screened";
+  timing.wall_seconds = parallel.wall_seconds;
+  timing.candidates = parallel.result.evaluations.size() +
+                      static_cast<std::uint64_t>(parallel.result.screened);
+  timing.candidates_per_sec =
+      parallel.wall_seconds > 0.0
+          ? static_cast<double>(timing.candidates) / parallel.wall_seconds
+          : 0.0;
+  // Screening is serial and the surrogate is pure, so the usual contract
+  // holds: thread count never changes the result.
+  timing.deterministic =
+      opt::SearchResultsBitIdentical(serial.result, parallel.result);
+  const double baseline_rate =
+      baseline.wall_seconds > 0.0
+          ? static_cast<double>(baseline.result.evaluations.size()) /
+                baseline.wall_seconds
+          : 0.0;
+  const double ratio = baseline_rate > 0.0
+                           ? timing.candidates_per_sec / baseline_rate
+                           : 0.0;
+  timing.notes =
+      std::to_string(parallel.result.evaluations.size()) + " simulated + " +
+      std::to_string(parallel.result.screened) + " screened (x" +
+      std::to_string(scale.screen_factor) + " pool), " +
+      TextTable::Num(ratio, 1) + "x the unscreened rate (" +
+      TextTable::Num(baseline_rate, 1) + " cand/s)";
+  return timing;
 }
 
 template <typename RunOnce>
@@ -444,6 +587,7 @@ int main(int argc, char** argv) {
   suite.seed = flags.seed;
 
   suite.scenarios.push_back(bench::RunSimHotPath(flags, scale, flat));
+  suite.scenarios.push_back(bench::RunShardedSim(flags, scale, flat));
 
   const bench::OptContext context = bench::MakeOptContext(flags, scale, flat);
   suite.scenarios.push_back(bench::CompareSerialParallel(
@@ -454,6 +598,7 @@ int main(int argc, char** argv) {
       "opt_annealing", flags, [&](int threads) {
         return bench::RunAnnealOnce(context, flags, scale, threads);
       }));
+  suite.scenarios.push_back(bench::RunOptScreened(context, flags, scale));
 
   {
     // BASE + CLOVER on the step trace, executed through the campaign

@@ -23,13 +23,18 @@ candidate FILE against the baseline by scenario name.
     from the candidate (dropped coverage), or either file fails schema
     validation.
   * SOFT findings (exit 0): throughput (events_per_sec,
-    candidates_per_sec) lower, or simulated latency (sim_p50_ms,
-    sim_p99_ms) higher, than the baseline by more than --tolerance
-    percent. CI runners are noisy, so these emit GitHub `::warning::`
-    annotations and a markdown table appended to $GITHUB_STEP_SUMMARY
-    (printed to stdout when the variable is unset) instead of failing the
-    job. A `deterministic: false` row is already a hard failure at bench
-    time via the producer's exit status.
+    candidates_per_sec) lower, simulated latency (sim_p50_ms, sim_p99_ms)
+    higher, or parallel speedup (speedup_vs_serial) lower, than the
+    baseline by more than --tolerance percent. CI runners are noisy, so
+    these emit GitHub `::warning::` annotations and a markdown table
+    appended to $GITHUB_STEP_SUMMARY (printed to stdout when the variable
+    is unset) instead of failing the job. A `deterministic: false` row is
+    already a hard failure at bench time via the producer's exit status.
+  * speedup_vs_serial is only compared when the candidate and the baseline
+    report the same host_cores: a speedup measured on a 16-core runner
+    says nothing about a 2-core one (on a core-starved host the "speedup"
+    is legitimately ~1x), so cross-host comparisons of that metric are
+    skipped with a note rather than reported as regressions.
 
 Stdlib only (json, os, sys) — no pip dependencies.
 """
@@ -77,6 +82,9 @@ COMPARE_METRICS = (
     ("candidates_per_sec", "higher"),
     ("sim_p50_ms", "lower"),
     ("sim_p99_ms", "lower"),
+    # Host-dependent: only compared when host_cores matches the baseline
+    # (see module docstring).
+    ("speedup_vs_serial", "higher"),
 )
 
 
@@ -164,9 +172,12 @@ def validate(path, required_scenarios=()):
     return problems
 
 
-def scenario_map(path):
+def load_doc(path):
     with open(path, encoding="utf-8") as handle:
-        doc = json.load(handle)
+        return json.load(handle)
+
+
+def scenario_map(doc):
     return {
         scenario["name"]: scenario
         for scenario in doc["scenarios"]
@@ -183,8 +194,19 @@ def compare_against_baseline(path, baseline_path, tolerance_pct):
     """
     hard = []
     soft = []
-    base = scenario_map(baseline_path)
-    cand = scenario_map(path)
+    base_doc = load_doc(baseline_path)
+    cand_doc = load_doc(path)
+    base = scenario_map(base_doc)
+    cand = scenario_map(cand_doc)
+    # Parallel speedup depends on the core count the run had to work with;
+    # comparing it across hosts manufactures regressions out of hardware.
+    same_host = base_doc.get("host_cores") == cand_doc.get("host_cores")
+    if not same_host:
+        print(
+            f"note: {path} ran on {cand_doc.get('host_cores')} host cores vs "
+            f"baseline's {base_doc.get('host_cores')}; skipping "
+            "speedup_vs_serial comparison"
+        )
     for name in base:
         if name not in cand:
             hard.append(
@@ -196,6 +218,8 @@ def compare_against_baseline(path, baseline_path, tolerance_pct):
         if cand_row is None:
             continue
         for metric, direction in COMPARE_METRICS:
+            if metric == "speedup_vs_serial" and not same_host:
+                continue
             base_value = base_row.get(metric)
             cand_value = cand_row.get(metric)
             # Nulls (non-finite at emit time) and zero baselines carry no

@@ -32,6 +32,8 @@ if command -v python3 >/dev/null; then
     --require-scenario fleet_routing \
     --require-scenario fault_recovery \
     --require-scenario e2e_step \
+    --require-scenario sharded_sim \
+    --require-scenario opt_screened \
     ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} \
     "$BUILD_DIR"/bench/bench_smoke_out/BENCH_smoke.json
 fi

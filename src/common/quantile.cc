@@ -7,7 +7,7 @@
 
 namespace clover {
 
-double ExactQuantile::Quantile(double q) const {
+double ExactQuantile::Quantile(double q) {
   if (samples_.empty()) return 0.0;
   CLOVER_CHECK(q >= 0.0 && q <= 1.0);
   // Nearest-rank: the ceil(q*n)-th order statistic (1-based).
@@ -170,7 +170,7 @@ void LogHistogramQuantile::Reset() {
   count_ = 0;
 }
 
-double P2Quantile::Value() const {
+double P2Quantile::Value() {
   if (count_ == 0) return 0.0;
   if (!markers_ready_) {
     // Exact nearest-rank over the buffer, sorted in place (no per-query

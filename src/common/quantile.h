@@ -25,6 +25,13 @@
 //
 // Thread-safety: none of these estimators synchronize; each accumulator is
 // owned by exactly one simulator or runtime and protected by its owner.
+// Queries are NOT logically const across the board: ExactQuantile::Quantile
+// and P2Quantile::Value reorder their sample buffers in place (nth_element/
+// sort), so they are deliberately non-const — a shared estimator must not
+// be queried concurrently, and the signature now says so. The sharded-sim
+// merge (sim/sharded_sim.h) relies on this: shard accumulators are only
+// read serially, after the epoch barrier. LogHistogramQuantile::Quantile
+// is a pure read and stays const.
 #pragma once
 
 #include <array>
@@ -45,13 +52,14 @@ class ExactQuantile {
 
   // Quantile q in [0,1] using the nearest-rank method (ceil(q*n)-th order
   // statistic), the same definition the P² fallback uses. Returns 0 when
-  // empty.
-  double Quantile(double q) const;
+  // empty. Non-const: partially sorts the sample vector in place, so
+  // concurrent queries on a shared instance race (see file comment).
+  double Quantile(double q);
 
   void Reset() { samples_.clear(); }
 
  private:
-  mutable std::vector<double> samples_;
+  std::vector<double> samples_;
 };
 
 // P² single-quantile estimator (Jain & Chlamtac, CACM 1985).
@@ -63,8 +71,9 @@ class P2Quantile {
   std::size_t count() const { return count_; }
 
   // Current estimate. Exact while count <= kExactThreshold; the P² marker
-  // value afterwards. Returns 0 when empty.
-  double Value() const;
+  // value afterwards. Returns 0 when empty. Non-const: in exact mode the
+  // buffer is sorted in place (see file comment on thread-safety).
+  double Value();
 
   void Reset();
 
@@ -77,10 +86,10 @@ class P2Quantile {
 
   double quantile_;
   std::size_t count_ = 0;
-  // Used while count_ <= threshold. Mutable: Value() sorts it in place
-  // (insertion order is irrelevant to both Value and InitializeMarkers)
-  // instead of allocating a copy per query.
-  mutable std::vector<double> buffer_;
+  // Used while count_ <= threshold. Value() sorts it in place (insertion
+  // order is irrelevant to both Value and InitializeMarkers) instead of
+  // allocating a copy per query — which is why Value() is non-const.
+  std::vector<double> buffer_;
   bool markers_ready_ = false;
   std::array<double, 5> heights_{};    // marker heights q_i
   std::array<double, 5> positions_{};  // marker positions n_i

@@ -44,14 +44,32 @@ Controller::Controller(sim::ClusterSim* sim, const models::ModelZoo* zoo,
   cache_ = std::make_unique<opt::CachingEvaluator>(sim_evaluator_.get(),
                                                    options_.eval_cache);
 
+  // Screen-then-simulate: build the analytic fast tier matched to the
+  // production workload and push the factor into the search options.
+  CLOVER_CHECK(options_.screen_factor >= 1);
+  if (options_.screen_factor > 1) {
+    options_.sa.screen_factor = options_.screen_factor;
+    options_.rs.screen_factor = options_.screen_factor;
+    opt::SurrogateEvaluator::Options surrogate_options;
+    surrogate_options.arrival_rate_qps = sim_->options().arrival_rate_qps;
+    surrogate_options.l_tail_ms = params_.l_tail_ms;
+    surrogate_options.service_model = sim_->options().service_model;
+    surrogate_options.service_jitter_sigma =
+        sim_->options().service_jitter_sigma;
+    surrogate_ = std::make_unique<opt::SurrogateEvaluator>(
+        zoo_, sim_->num_gpus(), surrogate_options);
+  }
+
   if (options_.scheme == Scheme::kClover) {
     // Clover: SA in graph space through the cross-invocation cache.
     annealer_ = std::make_unique<opt::SimulatedAnnealing>(
         cache_.get(), &sampler_, options_.sa, options_.seed);
+    if (surrogate_ != nullptr) annealer_->SetSurrogate(surrogate_.get());
   } else {
     // Blover: random search, no graph structure, no cache.
     random_search_ = std::make_unique<opt::RandomSearch>(
         sim_evaluator_.get(), &mapper_, options_.rs, options_.seed);
+    if (surrogate_ != nullptr) random_search_->SetSurrogate(surrogate_.get());
   }
 }
 

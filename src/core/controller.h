@@ -21,6 +21,7 @@
 #include "opt/annealing.h"
 #include "opt/evaluator.h"
 #include "opt/random_search.h"
+#include "opt/surrogate.h"
 #include "sim/cluster_sim.h"
 
 namespace clover::core {
@@ -68,6 +69,14 @@ class Controller {
     // Sec. 4.1 — a near-saturation config would build an unbounded backlog
     // even if a short measurement window looked compliant).
     double capacity_margin = 1.1;
+    // Screen-then-simulate factor for the search (1 = off). When > 1, the
+    // controller builds an analytic surrogate (opt/surrogate.h) matched to
+    // the production workload and installs it on the search: each proposal
+    // round oversamples by this factor and only the surrogate's top-ranked
+    // slice pays for a deploy-and-measure evaluation. Copied into sa/rs
+    // screen_factor at construction (any value set there directly is
+    // overridden when this knob is > 1).
+    int screen_factor = 1;
     opt::SimulatedAnnealing::Options sa;
     opt::RandomSearch::Options rs;
     // Evaluation-cache storage to attach to (nullptr = a private store).
@@ -108,6 +117,7 @@ class Controller {
   RngStream probe_rng_;
   std::unique_ptr<opt::SimEvaluator> sim_evaluator_;
   std::unique_ptr<opt::CachingEvaluator> cache_;
+  std::unique_ptr<opt::SurrogateEvaluator> surrogate_;  // screening tier
   std::unique_ptr<opt::SimulatedAnnealing> annealer_;
   std::unique_ptr<opt::RandomSearch> random_search_;
 

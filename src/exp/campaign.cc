@@ -121,6 +121,7 @@ std::string CellSpec::Name() const {
   if (control_interval_s != 300.0) name += "-i" + NumToken(control_interval_s);
   name += "-s" + std::to_string(seed);
   if (fault_seed != 0) name += "-f" + std::to_string(fault_seed);
+  if (screen != 1) name += "-x" + std::to_string(screen);
   return name;
 }
 
@@ -147,6 +148,7 @@ std::string CellSpec::Describe() const {
     text += ", accuracy limit " + NumToken(*accuracy_limit_pct) + "%";
   if (fault_seed != 0)
     text += ", fault seed " + std::to_string(fault_seed);
+  if (screen != 1) text += ", screen x" + std::to_string(screen);
   return text;
 }
 
@@ -158,7 +160,7 @@ bool operator==(const CellSpec& a, const CellSpec& b) {
          a.lambda == b.lambda &&
          a.accuracy_limit_pct == b.accuracy_limit_pct &&
          a.control_interval_s == b.control_interval_s && a.seed == b.seed &&
-         a.fault_seed == b.fault_seed;
+         a.fault_seed == b.fault_seed && a.screen == b.screen;
 }
 
 namespace {
@@ -358,6 +360,7 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
       {"control_interval_s", false, false},
       {"seed", false, false},
       {"fault_seed", true, false},
+      {"screen", false, false},
   };
   for (const JsonMember& member : grid.AsObject()) {
     bool known = false;
@@ -461,6 +464,11 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
     fault_seeds.push_back(value->AsUInt());
   if (fault_seeds.empty()) fault_seeds.push_back(0);
 
+  std::vector<int> screens;
+  for (const JsonValue* value : axis("screen"))
+    screens.push_back(ParseIntIn(*value, 1, 64, "screen"));
+  if (screens.empty()) screens.push_back(1);
+
   // --- Expansion (fixed axis order, scheme innermost) ----------------------
   std::set<std::string> seen;
   for (const std::string& trace : traces) {
@@ -474,26 +482,29 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
                   for (const double interval : intervals) {
                     for (const std::uint64_t seed : seeds) {
                       for (const std::uint64_t fault_seed : fault_seeds) {
-                        for (const fleet::RouterPolicy router : routers) {
-                          for (const core::Scheme scheme : schemes) {
-                            CellSpec cell;
-                            cell.mode = spec.mode;
-                            cell.scheme = scheme;
-                            cell.app = app;
-                            cell.trace = fleet_mode ? "" : trace;
-                            cell.regions = regions;
-                            cell.router = router;
-                            cell.gpus = g;
-                            cell.sizing_gpus = z == g ? 0 : z;
-                            cell.hours = h;
-                            cell.lambda = l;
-                            cell.accuracy_limit_pct = limit;
-                            cell.control_interval_s = interval;
-                            cell.seed = seed;
-                            cell.fault_seed = fault_seed;
-                            ++spec.grid_cells;
-                            if (seen.insert(cell.Name()).second)
-                              spec.cells.push_back(std::move(cell));
+                        for (const int screen : screens) {
+                          for (const fleet::RouterPolicy router : routers) {
+                            for (const core::Scheme scheme : schemes) {
+                              CellSpec cell;
+                              cell.mode = spec.mode;
+                              cell.scheme = scheme;
+                              cell.app = app;
+                              cell.trace = fleet_mode ? "" : trace;
+                              cell.regions = regions;
+                              cell.router = router;
+                              cell.gpus = g;
+                              cell.sizing_gpus = z == g ? 0 : z;
+                              cell.hours = h;
+                              cell.lambda = l;
+                              cell.accuracy_limit_pct = limit;
+                              cell.control_interval_s = interval;
+                              cell.seed = seed;
+                              cell.fault_seed = fault_seed;
+                              cell.screen = screen;
+                              ++spec.grid_cells;
+                              if (seen.insert(cell.Name()).second)
+                                spec.cells.push_back(std::move(cell));
+                            }
                           }
                         }
                       }
@@ -551,6 +562,7 @@ core::ExperimentConfig MakeCellConfig(const CellSpec& cell,
   config.accuracy_limit_pct = cell.accuracy_limit_pct;
   config.control_interval_s = cell.control_interval_s;
   config.seed = cell.seed;
+  config.controller.screen_factor = cell.screen;
   if (cell.fault_seed != 0) {
     sim::FaultProfile cell_profile = profile;
     cell_profile.duration_s = HoursToSeconds(cell.hours);
@@ -585,6 +597,7 @@ fleet::FleetConfig MakeFleetCellConfig(const CellSpec& cell) {
   config.router = cell.router;
   config.lambda = cell.lambda;
   config.seed = cell.seed;
+  config.controller.screen_factor = cell.screen;
   config.threads = 1;
   return config;
 }

@@ -35,12 +35,14 @@
 //   seed       experiment seed                  (default [1])
 //   fault_seed 0 = fault-free; >0 seeds GenerateFaultSchedule with the
 //              campaign's fault_profile rates
+//   screen     surrogate screen factor for the controller's search
+//              (opt/surrogate.h); 1 = no screening (default [1])
 //
 // Fleet axes (fleet::RunFleet cells; single-cluster-only axes rejected):
 //   regions    array of region-preset name lists, e.g.
 //              [["us-west", "ap-northeast"]]
 //   router     static | least-loaded | carbon-greedy
-//   scheme, app, gpus (per region), hours, lambda, seed as above
+//   scheme, app, gpus (per region), hours, lambda, seed, screen as above
 //
 // Expansion is a cross product in a fixed documented axis order (scheme
 // innermost, so a cell's BASE twin is adjacent), deterministic for a given
@@ -85,6 +87,7 @@ struct CellSpec {
   double control_interval_s = 300.0;
   std::uint64_t seed = 1;
   std::uint64_t fault_seed = 0;           // 0 = fault-free
+  int screen = 1;                         // surrogate screen factor; 1 = off
 
   // Stable unique key: encodes every parameter (fields at their documented
   // defaults are elided, which keeps the encoding injective). Used as the

@@ -125,7 +125,12 @@ std::vector<double> CarbonGreedyRouter::Split(
   std::vector<double> alloc(regions.size(), 0.0);
   double remaining = total_qps;
   for (std::size_t i : order) {
-    const double take = std::min(remaining, SafeCapacity(regions[i], options));
+    double headroom = 1.0;
+    if (options.slo_budget_ms > 0.0)
+      headroom = std::max(
+          0.0, 1.0 - regions[i].latency_penalty_ms / options.slo_budget_ms);
+    const double take =
+        std::min(remaining, SafeCapacity(regions[i], options) * headroom);
     alloc[i] = take;
     remaining -= take;
     if (remaining <= 0.0) break;

@@ -60,9 +60,61 @@ struct BestTracker {
 
 }  // namespace
 
+std::vector<std::size_t> ScreenCandidates(
+    Evaluator* surrogate, const std::vector<graph::ConfigGraph>& pool,
+    const ObjectiveParams& params, double ci, std::size_t keep) {
+  CLOVER_CHECK(surrogate != nullptr);
+  if (pool.size() <= keep) {
+    std::vector<std::size_t> all(pool.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+
+  struct Ranked {
+    std::size_t index;
+    bool sla_ok;
+    double f;
+    double violation_ms;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const EvalOutcome outcome = surrogate->Evaluate(pool[i]);
+    Ranked entry;
+    entry.index = i;
+    entry.sla_ok = outcome.sla_ok;
+    entry.f = ObjectiveF(outcome.metrics, params, ci);
+    entry.violation_ms =
+        std::max(0.0, outcome.metrics.p95_ms - params.l_tail_ms);
+    ranked.push_back(entry);
+  }
+  // SLA-first, then objective (or least violation), then sampling index —
+  // the same preference order the searches' best-tracking applies, so the
+  // screen optimizes for exactly what the fold will reward.
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                             const Ranked& b) {
+    if (a.sla_ok != b.sla_ok) return a.sla_ok;
+    if (a.sla_ok) {
+      if (a.f != b.f) return a.f > b.f;
+    } else {
+      if (a.violation_ms != b.violation_ms)
+        return a.violation_ms < b.violation_ms;
+    }
+    return a.index < b.index;
+  });
+
+  std::vector<std::size_t> survivors;
+  survivors.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i)
+    survivors.push_back(ranked[i].index);
+  std::sort(survivors.begin(), survivors.end());
+  return survivors;
+}
+
 bool SearchResultsBitIdentical(const SearchResult& a, const SearchResult& b) {
   if (a.evaluations.size() != b.evaluations.size()) return false;
   if (a.best_f != b.best_f || a.best_sla_ok != b.best_sla_ok) return false;
+  if (a.screened != b.screened) return false;
   if (!(a.best == b.best)) return false;
   if (a.best_metrics.accuracy != b.best_metrics.accuracy ||
       a.best_metrics.energy_per_request_j !=
@@ -99,11 +151,17 @@ SimulatedAnnealing::SimulatedAnnealing(Evaluator* evaluator,
       accept_rng_(seed, "sa-acceptance") {
   CLOVER_CHECK(evaluator_ != nullptr && sampler_ != nullptr);
   CLOVER_CHECK(options_.batch_size >= 1);
+  CLOVER_CHECK(options_.screen_factor >= 1);
 }
 
 void SimulatedAnnealing::SetBatchEvaluator(BatchEvaluator* batch) {
   CLOVER_CHECK(batch != nullptr);
   batch_ = batch;
+}
+
+void SimulatedAnnealing::SetSurrogate(Evaluator* surrogate) {
+  CLOVER_CHECK(surrogate != nullptr);
+  surrogate_ = surrogate;
 }
 
 SearchResult SimulatedAnnealing::Run(const graph::ConfigGraph& start,
@@ -212,13 +270,31 @@ SearchResult SimulatedAnnealing::Run(
     // current center's neighborhood is exhausted, matching the legacy
     // serial termination).
     const int round = std::min(batch_size, options_.max_evaluations - order);
+    const bool screening = surrogate_ != nullptr && options_.screen_factor > 1;
+    const int pool_size = screening ? round * options_.screen_factor : round;
     proposals.clear();
-    for (int i = 0; i < round; ++i) {
+    for (int i = 0; i < pool_size; ++i) {
       auto candidate = sampler_->Sample(center);
       if (!candidate.has_value()) break;
       proposals.push_back(std::move(*candidate));
     }
     if (proposals.empty()) break;  // neighborhood exhausted
+
+    // Screen-then-simulate: the surrogate ranks the oversampled pool and
+    // only the top round-size slice pays for a simulation. Survivors stay
+    // in sampling order, so the fold below is unchanged.
+    if (screening && proposals.size() > static_cast<std::size_t>(round)) {
+      const std::vector<std::size_t> survivors =
+          ScreenCandidates(surrogate_, proposals, params, ci,
+                           static_cast<std::size_t>(round));
+      result.screened +=
+          static_cast<int>(proposals.size() - survivors.size());
+      std::vector<graph::ConfigGraph> kept;
+      kept.reserve(survivors.size());
+      for (std::size_t index : survivors)
+        kept.push_back(std::move(proposals[index]));
+      proposals = std::move(kept);
+    }
 
     const std::vector<EvalOutcome> outcomes = batch->EvaluateBatch(proposals);
     for (std::size_t i = 0; i < proposals.size() && !stopped(); ++i)

@@ -69,6 +69,10 @@ struct SearchResult {
   std::vector<EvalRecord> evaluations;
   double elapsed_seconds = 0.0;  // total (simulated) time spent evaluating
   int cache_hits = 0;
+  // Candidates the surrogate screen discarded before simulation (0 without
+  // screening). Screened candidates never appear in `evaluations` and never
+  // touch best-tracking — the surrogate only chooses who gets simulated.
+  int screened = 0;
 
   SearchResult() : best(models::Application::kClassification, 1) {}
 };
@@ -79,6 +83,18 @@ struct SearchResult {
 // tests (tests/opt_parallel_test.cc) and the CI gate (bench/bench_runner)
 // both check against it, so they cannot drift apart.
 bool SearchResultsBitIdentical(const SearchResult& a, const SearchResult& b);
+
+// Screen-then-simulate support shared by the searches: evaluates every
+// graph in `pool` with the (cheap, pure) surrogate, ranks them SLA-first
+// (compliant candidates by descending objective f, violating ones by
+// ascending violation; ties broken by sampling index), and returns the
+// indices of the `keep` most promising candidates IN SAMPLING ORDER — the
+// fold then processes survivors exactly as if they had been sampled
+// directly. Serial and deterministic for any thread count. Surrogate
+// outcomes are used only for this ranking; they are never recorded.
+std::vector<std::size_t> ScreenCandidates(
+    Evaluator* surrogate, const std::vector<graph::ConfigGraph>& pool,
+    const ObjectiveParams& params, double ci, std::size_t keep);
 
 class SimulatedAnnealing {
  public:
@@ -94,6 +110,14 @@ class SimulatedAnnealing {
     // executor. Keep modest (~2x the evaluator's thread count): every
     // accepted proposal invalidates the rest of its round's centering.
     int batch_size = 1;
+    // Screen-then-simulate: with a surrogate installed (SetSurrogate) and
+    // screen_factor = K > 1, each round draws K times as many proposals,
+    // ranks them with the surrogate, and simulates only the top round-size
+    // slice. 1 disables screening. Changing K changes which proposals are
+    // drawn (more sampler draws per round), so results are comparable only
+    // at a fixed (options, seed, K) — determinism across thread counts is
+    // unaffected (the screen is serial and the surrogate pure).
+    int screen_factor = 1;
   };
 
   SimulatedAnnealing(Evaluator* evaluator, graph::NeighborSampler* sampler,
@@ -102,6 +126,11 @@ class SimulatedAnnealing {
   // Routes proposal batches through `batch` (borrowed; must outlive the
   // annealer). Determinism contract: see the file comment.
   void SetBatchEvaluator(BatchEvaluator* batch);
+
+  // Installs the fast-fidelity ranking tier (borrowed; must outlive the
+  // annealer). Takes effect when Options::screen_factor > 1; seed
+  // evaluations are never screened (the incumbent must be measured).
+  void SetSurrogate(Evaluator* surrogate);
 
   // Runs one optimization invocation from `start` at carbon intensity `ci`.
   SearchResult Run(const graph::ConfigGraph& start,
@@ -117,7 +146,8 @@ class SimulatedAnnealing {
   graph::NeighborSampler* sampler_;
   Options options_;
   RngStream accept_rng_;
-  BatchEvaluator* batch_ = nullptr;  // nullptr: serial via evaluator_
+  BatchEvaluator* batch_ = nullptr;     // nullptr: serial via evaluator_
+  Evaluator* surrogate_ = nullptr;      // nullptr: no screening tier
 };
 
 }  // namespace clover::opt

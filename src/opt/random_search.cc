@@ -17,11 +17,17 @@ RandomSearch::RandomSearch(Evaluator* evaluator, graph::GraphMapper* mapper,
       rng_(seed, "blover-random-search") {
   CLOVER_CHECK(evaluator_ != nullptr && mapper_ != nullptr);
   CLOVER_CHECK(options_.batch_size >= 1);
+  CLOVER_CHECK(options_.screen_factor >= 1);
 }
 
 void RandomSearch::SetBatchEvaluator(BatchEvaluator* batch) {
   CLOVER_CHECK(batch != nullptr);
   batch_ = batch;
+}
+
+void RandomSearch::SetSurrogate(Evaluator* surrogate) {
+  CLOVER_CHECK(surrogate != nullptr);
+  surrogate_ = surrogate;
 }
 
 graph::ConfigGraph RandomSearch::SampleConfiguration(models::Application app) {
@@ -102,14 +108,31 @@ SearchResult RandomSearch::Run(const graph::ConfigGraph& start,
            order >= options_.max_evaluations;
   };
 
+  const bool screening = surrogate_ != nullptr && options_.screen_factor > 1;
   std::vector<graph::ConfigGraph> candidates;
   candidates.reserve(static_cast<std::size_t>(batch_size));
   while (!stopped()) {
     const int round =
         std::min(batch_size, options_.max_evaluations - order);
+    const int pool_size = screening ? round * options_.screen_factor : round;
     candidates.clear();
-    for (int i = 0; i < round; ++i)
+    for (int i = 0; i < pool_size; ++i)
       candidates.push_back(SampleConfiguration(start.app()));
+    // Screen-then-simulate: the surrogate ranks the oversampled pool; only
+    // the top round-size slice is simulated. Survivors keep sampling order,
+    // so the fold below is unchanged.
+    if (screening && candidates.size() > static_cast<std::size_t>(round)) {
+      const std::vector<std::size_t> survivors =
+          ScreenCandidates(surrogate_, candidates, params, ci,
+                           static_cast<std::size_t>(round));
+      result.screened +=
+          static_cast<int>(candidates.size() - survivors.size());
+      std::vector<graph::ConfigGraph> kept;
+      kept.reserve(survivors.size());
+      for (std::size_t index : survivors)
+        kept.push_back(std::move(candidates[index]));
+      candidates = std::move(kept);
+    }
     const std::vector<EvalOutcome> outcomes = batch->EvaluateBatch(candidates);
     for (int i = 0; i < round && !stopped(); ++i) {
       const bool improved = fold(candidates[static_cast<std::size_t>(i)],

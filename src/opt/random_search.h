@@ -51,6 +51,12 @@ class RandomSearch {
     // installed a batch executor; useful sizes are 2-4x the evaluator's
     // thread count so dynamic scheduling can level uneven candidate costs.
     int batch_size = 1;
+    // Screen-then-simulate: with a surrogate installed (SetSurrogate) and
+    // screen_factor = K > 1, each round samples K times as many candidates,
+    // ranks them with the surrogate, and simulates only the top round-size
+    // slice. 1 disables screening. The start configuration is never
+    // screened. See annealing.h (ScreenCandidates) for the contract.
+    int screen_factor = 1;
   };
 
   RandomSearch(Evaluator* evaluator, graph::GraphMapper* mapper,
@@ -60,6 +66,10 @@ class RandomSearch {
   // search) instead of the per-candidate evaluator. Determinism contract:
   // see the file comment.
   void SetBatchEvaluator(BatchEvaluator* batch);
+
+  // Installs the fast-fidelity ranking tier (borrowed; must outlive the
+  // search). Takes effect when Options::screen_factor > 1.
+  void SetSurrogate(Evaluator* surrogate);
 
   // Runs one invocation starting from (and first measuring) `start`.
   SearchResult Run(const graph::ConfigGraph& start,
@@ -74,6 +84,7 @@ class RandomSearch {
   Options options_;
   RngStream rng_;
   BatchEvaluator* batch_ = nullptr;  // nullptr: serial via evaluator_
+  Evaluator* surrogate_ = nullptr;   // nullptr: no screening tier
 };
 
 }  // namespace clover::opt

@@ -155,7 +155,7 @@ void InferenceRuntime::WorkerLoop(std::size_t instance_index) {
   }
 }
 
-InferenceRuntime::Stats InferenceRuntime::SnapshotStats() const {
+InferenceRuntime::Stats InferenceRuntime::SnapshotStats() {
   std::unique_lock<std::mutex> lock(mutex_);
   Stats stats;
   stats.submitted = submitted_;

@@ -71,7 +71,9 @@ class InferenceRuntime {
   // after Drain() has begun.
   bool Submit();
 
-  Stats SnapshotStats() const;
+  // Non-const: the p95 query partially sorts the latency sample buffer in
+  // place under mutex_ (common/quantile.h documents the quantile contract).
+  Stats SnapshotStats();
 
   int NumInstances() const { return static_cast<int>(instances_.size()); }
 

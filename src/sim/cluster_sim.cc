@@ -166,11 +166,22 @@ double ClusterSim::NextFaultTime() const {
 
 void ClusterSim::AdvanceTo(double t) {
   CLOVER_CHECK_MSG(t >= now_, "AdvanceTo moving backwards");
+  // Merged single-scan dispatch: the three event sources (fault transition,
+  // pending arrival, completion/wake heap) are polled once per iteration
+  // and the winner is dispatched inline, instead of a NextEventTime() probe
+  // followed by ProcessOneEvent() re-deriving the same three minima. The
+  // semantics are identical to ProcessOneEvent (which ApplyDeployment's
+  // drain loop still uses): a window closes before any event at or past its
+  // end, and ties break fault <= arrival <= completion.
   for (;;) {
     const double window_end = window_start_ + options_.window_seconds;
-    const double next_event = NextEventTime();
-    const double horizon = std::min(t, next_event);
-    if (horizon >= window_end) {
+    const double next_fault = NextFaultTime();
+    const double next_heap = events_.Empty()
+                                 ? std::numeric_limits<double>::infinity()
+                                 : events_.Top().time;
+    const double next_event =
+        std::min(std::min(pending_arrival_, next_fault), next_heap);
+    if (std::min(t, next_event) >= window_end) {
       now_ = window_end;
       CloseWindow();
       continue;
@@ -179,7 +190,23 @@ void ClusterSim::AdvanceTo(double t) {
       now_ = t;
       return;
     }
-    ProcessOneEvent();
+    if (next_fault <= pending_arrival_ && next_fault <= next_heap) {
+      now_ = next_fault;
+      ApplyFaultTransition(fault_transitions_[next_fault_++]);
+    } else if (pending_arrival_ <= next_heap) {
+      const double arrival = pending_arrival_;
+      pending_arrival_ = arrivals_.NextArrivalTime();
+      now_ = arrival;
+      HandleArrival(arrival);
+    } else {
+      const Event event = events_.Pop();
+      now_ = event.time;
+      if (event.instance_id == kWakeEventId) {
+        HandleWake(event.time);
+      } else {
+        HandleCompletion(event);
+      }
+    }
   }
 }
 

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "carbon/accountant.h"
@@ -33,6 +32,7 @@
 #include "sim/event_queue.h"
 #include "sim/fault_injector.h"
 #include "sim/metrics.h"
+#include "sim/request_queue.h"
 
 namespace clover::sim {
 
@@ -225,7 +225,7 @@ class ClusterSim {
   std::int32_t next_id_ = 0;
 
   EventQueue events_;
-  std::deque<double> queue_;  // enqueue times of waiting requests
+  RequestQueue queue_;  // enqueue times of waiting requests (flat ring)
   PoissonArrivals arrivals_;
   double pending_arrival_ = 0.0;
   RngStream jitter_rng_;

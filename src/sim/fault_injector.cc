@@ -33,7 +33,46 @@ void DrawWindows(RngStream& rng, double duration_s, double per_hour,
   }
 }
 
+// Rejects rates/means that would break the renewal draws: a negative rate
+// or non-positive mean makes NextExponential produce negative (or infinite)
+// gaps, and the DrawWindows loop then fails to terminate. NaN is rejected
+// by the negated comparisons. Means are only consulted when the category's
+// rate is nonzero, but a bad mean is a config error either way, so both
+// are checked unconditionally.
+void ValidateRateAndMean(double per_hour, double mean_s, const char* what) {
+  CLOVER_CHECK_MSG(per_hour >= 0.0 && std::isfinite(per_hour),
+                   what << " rate must be finite and >= 0/h, got "
+                        << per_hour);
+  CLOVER_CHECK_MSG(mean_s > 0.0 && std::isfinite(mean_s),
+                   what << " mean window must be finite and > 0 s, got "
+                        << mean_s);
+}
+
 }  // namespace
+
+void ValidateFaultProfile(const FaultProfile& profile) {
+  CLOVER_CHECK_MSG(profile.duration_s >= 0.0 &&
+                       std::isfinite(profile.duration_s),
+                   "fault horizon must be finite and >= 0, got "
+                       << profile.duration_s);
+  CLOVER_CHECK_MSG(profile.num_gpus >= 1, "fault profile needs >= 1 gpu");
+  ValidateRateAndMean(profile.gpu_faults_per_hour, profile.mean_gpu_outage_s,
+                      "gpu fault");
+  ValidateRateAndMean(profile.flash_crowds_per_hour,
+                      profile.mean_flash_crowd_s, "flash crowd");
+  CLOVER_CHECK_MSG(profile.flash_crowd_multiplier > 1.0 &&
+                       std::isfinite(profile.flash_crowd_multiplier),
+                   "flash crowd multiplier must be finite and > 1, got "
+                       << profile.flash_crowd_multiplier);
+  ValidateRateAndMean(profile.trace_dropouts_per_hour,
+                      profile.mean_trace_dropout_s, "trace dropout");
+  ValidateRateAndMean(profile.rtt_spikes_per_hour, profile.mean_rtt_spike_s,
+                      "rtt spike");
+  CLOVER_CHECK_MSG(profile.rtt_spike_ms >= 0.0 &&
+                       std::isfinite(profile.rtt_spike_ms),
+                   "rtt spike penalty must be finite and >= 0 ms, got "
+                       << profile.rtt_spike_ms);
+}
 
 void FaultSchedule::Validate() const {
   for (const GpuFault& fault : gpu_faults) {
@@ -56,8 +95,7 @@ void FaultSchedule::Validate() const {
 
 FaultSchedule GenerateFaultSchedule(const FaultProfile& profile,
                                     std::uint64_t seed) {
-  CLOVER_CHECK_MSG(profile.duration_s >= 0.0, "negative fault horizon");
-  CLOVER_CHECK_MSG(profile.num_gpus >= 1, "fault profile needs >= 1 gpu");
+  ValidateFaultProfile(profile);
   FaultSchedule schedule;
 
   RngStream gpu_rng(seed, "fault-gpu");

@@ -109,6 +109,16 @@ struct FaultProfile {
   double rtt_spike_ms = 60.0;
 };
 
+// Throws CheckError on any out-of-domain profile field: negative or
+// non-finite rates, non-positive or non-finite mean windows, a crowd
+// multiplier <= 1, a negative RTT penalty, a negative horizon, or < 1 GPU.
+// GenerateFaultSchedule calls this first — a negative rate or non-positive
+// mean would otherwise feed NextExponential a negative/infinite draw and
+// the renewal loop could spin forever. The campaign spec reader rejects
+// the same domains at parse time with a positioned JsonParseError; this is
+// the backstop for direct C++ callers.
+void ValidateFaultProfile(const FaultProfile& profile);
+
 // Draws a schedule from named RNG streams derived from `seed`: the same
 // (profile, seed) always yields the same schedule, and the four categories
 // are statistically independent (changing one rate never perturbs the

@@ -34,7 +34,9 @@ class WindowAccumulator {
     return completions_ ? latency_sum_ms_ / static_cast<double>(completions_)
                         : 0.0;
   }
-  double p95_ms() const { return p95_.Value(); }
+  // Non-const: P2Quantile::Value sorts its exact-mode buffer in place, so
+  // a query on a shared accumulator is a write (common/quantile.h).
+  double p95_ms() { return p95_.Value(); }
   double max_ms() const { return max_ms_; }
   double weighted_accuracy() const {
     return completions_ ? accuracy_sum_ / static_cast<double>(completions_)

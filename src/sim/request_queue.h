@@ -1,0 +1,77 @@
+// Flat ring buffer of waiting-request enqueue times.
+//
+// The simulator's FIFO backlog used to be a std::deque<double>; under
+// sustained overload (flash crowds, drain transients) the deque's chunked
+// allocation showed up in the hot-path profile, and its chunk map is cold
+// for the two operations the event loop actually performs: push_back on
+// arrival, pop_front on dispatch. This queue keeps the backlog in one
+// power-of-two arena addressed with a wrap mask — both operations are a
+// store/load plus an index increment, with no allocation in steady state.
+//
+// push_front exists for exactly one caller: ClusterSim::FailGpu re-inserts
+// the in-flight requests of a failing GPU at the head of the FIFO (oldest
+// first), so a retry is ordered as if the request had never left the queue.
+//
+// Growth doubles the arena and re-linearizes; amortized O(1), and a run
+// whose backlog stays under the high-water mark never reallocates again.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace clover::sim {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t initial_capacity = 1024) {
+    std::size_t capacity = 16;
+    while (capacity < initial_capacity) capacity <<= 1;
+    slots_.resize(capacity);
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  double front() const {
+    CLOVER_DCHECK(count_ > 0);
+    return slots_[head_];
+  }
+
+  void pop_front() {
+    CLOVER_DCHECK(count_ > 0);
+    head_ = (head_ + 1) & Mask();
+    --count_;
+  }
+
+  void push_back(double enqueue_time) {
+    if (count_ == slots_.size()) Grow();
+    slots_[(head_ + count_) & Mask()] = enqueue_time;
+    ++count_;
+  }
+
+  void push_front(double enqueue_time) {
+    if (count_ == slots_.size()) Grow();
+    head_ = (head_ + Mask()) & Mask();  // head - 1, wrapped
+    slots_[head_] = enqueue_time;
+    ++count_;
+  }
+
+ private:
+  std::size_t Mask() const { return slots_.size() - 1; }
+
+  void Grow() {
+    std::vector<double> next(slots_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+      next[i] = slots_[(head_ + i) & Mask()];
+    slots_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<double> slots_;  // size is always a power of two
+  std::size_t head_ = 0;       // index of the front element
+  std::size_t count_ = 0;
+};
+
+}  // namespace clover::sim

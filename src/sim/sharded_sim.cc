@@ -1,0 +1,189 @@
+#include "sim/sharded_sim.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace clover::sim {
+
+std::uint64_t ShardedClusterSim::LaneSeed(std::uint64_t seed, int lane) {
+  // SplitMix64 over (seed, stream tag, lane): the same recipe RngStream
+  // uses for named streams, so lanes are as independent of each other as
+  // any two named streams, and lane 0 of a sharded run is NOT the plain
+  // single-sim run (the split rate already makes it a different system).
+  std::uint64_t state = seed + HashStreamName("sharded-sim-lane") +
+                        static_cast<std::uint64_t>(lane) *
+                            0x9E3779B97F4A7C15ULL;
+  return SplitMix64(state);
+}
+
+ShardedClusterSim::ShardedClusterSim(const serving::Deployment& lane_deployment,
+                                     const models::ModelZoo& zoo,
+                                     const carbon::CarbonTrace* trace,
+                                     const ShardedSimOptions& options)
+    : options_(options) {
+  CLOVER_CHECK_MSG(options_.num_lanes >= 1, "sharded sim needs >= 1 lane");
+  const int lanes = options_.num_lanes;
+  const int gpus_per_lane = lane_deployment.NumGpus();
+  const int global_gpus = lanes * gpus_per_lane;
+
+  // Route the global fault schedule: gpu faults to their owning lane (by
+  // global index), flash crowds to every lane.
+  std::vector<FaultSchedule> lane_faults(static_cast<std::size_t>(lanes));
+  for (const GpuFault& fault : options_.base.faults.gpu_faults) {
+    CLOVER_CHECK_MSG(fault.gpu_index >= 0 && fault.gpu_index < global_gpus,
+                     "sharded gpu fault names gpu " << fault.gpu_index
+                                                    << " of a " << global_gpus
+                                                    << "-gpu cluster");
+    GpuFault local = fault;
+    local.gpu_index = fault.gpu_index % gpus_per_lane;
+    lane_faults[static_cast<std::size_t>(fault.gpu_index / gpus_per_lane)]
+        .gpu_faults.push_back(local);
+  }
+  for (auto& faults : lane_faults)
+    faults.flash_crowds = options_.base.faults.flash_crowds;
+
+  epoch_end_ = options_.base.window_seconds;
+  lanes_.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    SimOptions lane_options = options_.base;
+    lane_options.arrival_rate_qps =
+        options_.base.arrival_rate_qps / static_cast<double>(lanes);
+    lane_options.seed = LaneSeed(options_.base.seed, i);
+    lane_options.faults = std::move(lane_faults[static_cast<std::size_t>(i)]);
+    lanes_.push_back(std::make_unique<ClusterSim>(lane_deployment, zoo, trace,
+                                                  lane_options));
+  }
+}
+
+void ShardedClusterSim::AdvanceTo(double t, ThreadPool* pool) {
+  CLOVER_CHECK_MSG(t >= now_, "sharded AdvanceTo moving backwards");
+  for (;;) {
+    // Epoch barrier at the next window edge: every lane reaches `target`
+    // before any merged window is read. epoch_end_ accumulates additively
+    // (never k * window) so the barrier instants are bit-identical to the
+    // window edges each lane's own clock produces.
+    const double target = std::min(t, epoch_end_);
+    if (pool != nullptr && pool->num_threads() > 1 && lanes_.size() > 1) {
+      pool->ParallelFor(lanes_.size(), [&](int, std::size_t lane) {
+        lanes_[lane]->AdvanceTo(target);
+      });
+    } else {
+      for (auto& lane : lanes_) lane->AdvanceTo(target);
+    }
+    now_ = target;
+    if (target < epoch_end_) return;  // t inside the current epoch
+    MergeClosedWindows();
+    epoch_end_ += options_.base.window_seconds;
+    if (now_ >= t) return;
+  }
+}
+
+void ShardedClusterSim::MergeClosedWindows() {
+  std::size_t closed = lanes_[0]->windows().size();
+  for (const auto& lane : lanes_)
+    closed = std::min(closed, lane->windows().size());
+
+  std::vector<std::pair<double, std::uint64_t>> tail_masses;  // (p95, n)
+  for (std::size_t w = windows_.size(); w < closed; ++w) {
+    WindowRecord merged;
+    double mean_weighted = 0.0, accuracy_weighted = 0.0, ci_energy = 0.0;
+    tail_masses.clear();
+    for (const auto& lane : lanes_) {
+      const WindowRecord& lane_window = lane->windows()[w];
+      merged.start_s = lane_window.start_s;
+      merged.duration_s = lane_window.duration_s;
+      merged.arrivals += lane_window.arrivals;
+      merged.completions += lane_window.completions;
+      merged.energy_j += lane_window.energy_j;
+      merged.carbon_g += lane_window.carbon_g;
+      if (lane_window.completions > 0) {
+        tail_masses.emplace_back(lane_window.p95_ms, lane_window.completions);
+        merged.max_ms = std::max(merged.max_ms, lane_window.max_ms);
+        mean_weighted += lane_window.mean_ms *
+                         static_cast<double>(lane_window.completions);
+        accuracy_weighted += lane_window.weighted_accuracy *
+                             static_cast<double>(lane_window.completions);
+      }
+      ci_energy += lane_window.ci * lane_window.energy_j;
+    }
+    // Fleet-style point-mass tail rule (fleet/fleet_sim.cc): one mass per
+    // lane at its window p95; walking from the slowest down, the merged p95
+    // is the first value with more than 5% of the completions at/above it.
+    std::sort(tail_masses.begin(), tail_masses.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::uint64_t mass_above = 0;
+    for (const auto& [value, count] : tail_masses) {
+      mass_above += count;
+      if (static_cast<double>(mass_above) >
+          0.05 * static_cast<double>(merged.completions)) {
+        merged.p95_ms = value;
+        break;
+      }
+    }
+    merged.mean_ms =
+        merged.completions
+            ? mean_weighted / static_cast<double>(merged.completions)
+            : 0.0;
+    merged.weighted_accuracy =
+        merged.completions
+            ? accuracy_weighted / static_cast<double>(merged.completions)
+            : 0.0;
+    merged.ci = merged.energy_j > 0.0 ? ci_energy / merged.energy_j : 0.0;
+    windows_.push_back(merged);
+  }
+}
+
+bool ShardedSummariesBitIdentical(const ShardedSummary& a,
+                                  const ShardedSummary& b) {
+  if (a.num_lanes != b.num_lanes || a.arrivals != b.arrivals ||
+      a.completions != b.completions || a.sim_events != b.sim_events ||
+      a.weighted_accuracy != b.weighted_accuracy ||
+      a.total_energy_j != b.total_energy_j ||
+      a.total_carbon_g != b.total_carbon_g || a.p50_ms != b.p50_ms ||
+      a.p95_ms != b.p95_ms || a.p99_ms != b.p99_ms ||
+      a.windows.size() != b.windows.size()) {
+    return false;
+  }
+  for (std::size_t w = 0; w < a.windows.size(); ++w) {
+    const WindowRecord& x = a.windows[w];
+    const WindowRecord& y = b.windows[w];
+    if (x.start_s != y.start_s || x.duration_s != y.duration_s ||
+        x.arrivals != y.arrivals || x.completions != y.completions ||
+        x.p95_ms != y.p95_ms || x.mean_ms != y.mean_ms ||
+        x.max_ms != y.max_ms || x.weighted_accuracy != y.weighted_accuracy ||
+        x.energy_j != y.energy_j || x.carbon_g != y.carbon_g || x.ci != y.ci) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ShardedSummary ShardedClusterSim::Summary() const {
+  ShardedSummary summary;
+  summary.num_lanes = num_lanes();
+  LogHistogramQuantile merged_latency;
+  double accuracy_sum = 0.0;
+  for (const auto& lane : lanes_) {
+    summary.arrivals += lane->total_arrivals();
+    summary.completions += lane->total_completions();
+    accuracy_sum += lane->total_accuracy_sum();
+    summary.total_energy_j += lane->total_energy_j();
+    summary.total_carbon_g += lane->total_carbon_g();
+    merged_latency.MergeShifted(lane->latency_histogram(), 0.0);
+  }
+  summary.sim_events = summary.arrivals + summary.completions;
+  summary.weighted_accuracy =
+      summary.completions
+          ? accuracy_sum / static_cast<double>(summary.completions)
+          : 0.0;
+  summary.p50_ms = merged_latency.Quantile(0.50);
+  summary.p95_ms = merged_latency.Quantile(0.95);
+  summary.p99_ms = merged_latency.Quantile(0.99);
+  summary.windows = windows_;
+  return summary;
+}
+
+}  // namespace clover::sim

@@ -1,0 +1,115 @@
+// Sharded discrete-event simulation: planet-scale runs on all cores.
+//
+// A ClusterSim is inherently serial — one event loop, one clock. What a
+// planet-scale study actually simulates, though, is a *set* of independent
+// sub-clusters (lanes): disjoint GPU pools that share no queue and no
+// dispatch state, each fed a fixed 1/L split of the offered stream. Those
+// lanes never interact between metric-window boundaries, so they can run on
+// different threads as long as every lane stops at the same window edge and
+// the merge is serial.
+//
+// ShardedClusterSim does exactly that, following the fleet controller's
+// two-phase step (fleet/fleet_controller.h): within an epoch (one
+// window_seconds), lanes advance in parallel across ThreadPool slots; at
+// the epoch barrier, the closed per-lane windows are folded in fixed lane
+// order into fleet-style merged windows (index-aligned sums; the window p95
+// uses the same point-mass rule as the fleet aggregation, with zero network
+// penalty). Each lane owns its own RNG streams derived from
+// (seed, lane index), so results are a pure function of
+// (lane deployment, options, num_lanes) — the thread count only decides
+// which slot advances which lane, never what any lane computes. Runs are
+// bit-identical at 1, 2, or 64 threads.
+//
+// Fault schedules compose: a GpuFault names a *global* GPU index in
+// [0, num_lanes * gpus_per_lane) and is routed to the owning lane;
+// FlashCrowds are global traffic events and replicate to every lane (each
+// lane's split rate is multiplied, so the total offered rate is too).
+// Trace dropouts / RTT spikes are harness-level, as for ClusterSim.
+//
+// num_lanes is part of the result identity (an L-lane run is a different
+// experiment than a 2L-lane run — lanes do not share queues); the thread
+// count is not.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/cluster_sim.h"
+
+namespace clover::sim {
+
+struct ShardedSimOptions {
+  // Per-lane template. `arrival_rate_qps` is the TOTAL offered rate across
+  // the whole sharded cluster; each lane runs at rate / num_lanes. `seed`
+  // is the run seed; lanes derive independent streams from (seed, lane).
+  // `faults.gpu_faults` use global GPU indices (see file comment).
+  SimOptions base;
+  int num_lanes = 8;
+};
+
+// Merged run summary, serially folded in lane order.
+struct ShardedSummary {
+  int num_lanes = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t sim_events = 0;  // arrivals + completions, all lanes
+  double weighted_accuracy = 0.0;
+  double total_energy_j = 0.0;
+  double total_carbon_g = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::vector<WindowRecord> windows;  // merged, index-aligned across lanes
+};
+
+// Exact (bitwise) equality over every summary field including the merged
+// windows — the determinism gate's predicate: two runs of the same
+// configuration must satisfy it at any thread count.
+bool ShardedSummariesBitIdentical(const ShardedSummary& a,
+                                  const ShardedSummary& b);
+
+class ShardedClusterSim {
+ public:
+  // Every lane runs a copy of `lane_deployment` (disjoint GPU pools of the
+  // same shape — the homogeneous planet-scale case). Throws CheckError on
+  // num_lanes < 1 or a gpu fault naming a GPU outside the global range.
+  ShardedClusterSim(const serving::Deployment& lane_deployment,
+                    const models::ModelZoo& zoo,
+                    const carbon::CarbonTrace* trace,
+                    const ShardedSimOptions& options);
+
+  // Advances all lanes to `t` (>= now()) in window-sized epochs: parallel
+  // lane stepping over `pool` (nullptr or a 1-thread pool runs serially —
+  // same results either way), serial lane-order merge at each barrier.
+  void AdvanceTo(double t, ThreadPool* pool = nullptr);
+
+  double now() const { return now_; }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  const ClusterSim& lane(int i) const {
+    return *lanes_[static_cast<std::size_t>(i)];
+  }
+
+  // Merged windows closed so far (one per epoch behind now()).
+  const std::vector<WindowRecord>& windows() const { return windows_; }
+
+  // Fold lanes into run totals + merged latency quantiles. Serial, lane
+  // order; cheap relative to the run (histogram merge, no event replay).
+  ShardedSummary Summary() const;
+
+ private:
+  // Derives the per-lane seed from (run seed, lane index); stable across
+  // builds, independent across lanes.
+  static std::uint64_t LaneSeed(std::uint64_t seed, int lane);
+
+  void MergeClosedWindows();
+
+  ShardedSimOptions options_;
+  std::vector<std::unique_ptr<ClusterSim>> lanes_;
+  std::vector<WindowRecord> windows_;
+  double now_ = 0.0;
+  double epoch_end_ = 0.0;  // accumulated additively, matching ClusterSim
+};
+
+}  // namespace clover::sim

@@ -102,6 +102,76 @@ TEST(CampaignSpecTest, DeduplicatesNormalizedIdenticalCells) {
   EXPECT_EQ(spec.cells[1].Name(), "clover-classification-flat-g2-h0.5-s1");
 }
 
+TEST(CampaignSpecTest, ScreenAxisExpandsEncodesAndPlumbs) {
+  const CampaignSpec spec = ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "screen",
+    "grid": {
+      "scheme": "clover",
+      "app": "classification",
+      "trace": "flat",
+      "gpus": 2,
+      "hours": 0.5,
+      "screen": [1, 16]
+    }
+  })");
+  ASSERT_EQ(spec.cells.size(), 2u);
+  // The default (1 = off) is elided from the name; a real factor encodes.
+  EXPECT_EQ(spec.cells[0].Name(), "clover-classification-flat-g2-h0.5-s1");
+  EXPECT_EQ(spec.cells[1].Name(),
+            "clover-classification-flat-g2-h0.5-s1-x16");
+  EXPECT_EQ(spec.cells[0].screen, 1);
+  EXPECT_EQ(spec.cells[1].screen, 16);
+  EXPECT_NE(spec.cells[1].Describe().find("screen x16"), std::string::npos);
+  EXPECT_FALSE(spec.cells[0] == spec.cells[1]);
+
+  // The factor reaches the controller options of the materialized cell.
+  const sim::FaultProfile profile;
+  const carbon::CarbonTrace trace = MakeCellTrace(spec.cells[1]);
+  const core::ExperimentConfig config =
+      MakeCellConfig(spec.cells[1], profile, &trace);
+  EXPECT_EQ(config.controller.screen_factor, 16);
+
+  // Out-of-range factors are parse errors, not runtime surprises.
+  for (const char* bad : {"0", "65", "-1"}) {
+    EXPECT_THROW(ParseSpecText(std::string(R"({
+      "schema": "clover-campaign-v1",
+      "name": "bad",
+      "grid": {"scheme": "clover", "app": "language", "screen": )") +
+                               bad + "}}"),
+                 JsonParseError)
+        << "screen=" << bad;
+  }
+}
+
+TEST(CampaignSpecTest, FaultProfileKnobsAreBounded) {
+  // Regression for the fault-profile validation fix: the parse layer must
+  // reject out-of-range rates/means/multipliers with line/column context
+  // instead of handing GenerateFaultSchedule a profile that only fails (or
+  // worse, spins) at run time.
+  const auto spec_with = [](const std::string& key, const std::string& value) {
+    return std::string(R"({
+      "schema": "clover-campaign-v1",
+      "name": "faulty",
+      "fault_profile": {")") +
+           key + "\": " + value + R"(},
+      "grid": {"scheme": "clover", "app": "language", "fault_seed": 3}
+    })";
+  };
+  EXPECT_NO_THROW(ParseSpecText(spec_with("gpu_faults_per_hour", "0.5")));
+  EXPECT_THROW(ParseSpecText(spec_with("gpu_faults_per_hour", "-1")),
+               JsonParseError);
+  EXPECT_THROW(ParseSpecText(spec_with("gpu_faults_per_hour", "100")),
+               JsonParseError);
+  EXPECT_THROW(ParseSpecText(spec_with("mean_gpu_outage_s", "0")),
+               JsonParseError);
+  EXPECT_THROW(ParseSpecText(spec_with("flash_crowd_multiplier", "1.0")),
+               JsonParseError);
+  EXPECT_THROW(ParseSpecText(spec_with("rtt_spike_ms", "-5")),
+               JsonParseError);
+  EXPECT_THROW(ParseSpecText(spec_with("not_a_knob", "1")), JsonParseError);
+}
+
 TEST(CampaignSpecTest, RejectionsCarryLineAndColumn) {
   // Unknown grid axis.
   try {

@@ -68,6 +68,50 @@ TEST(FaultInjector, ScheduleValidationCatchesMalformedWindows) {
   EXPECT_THROW(schedule.Validate(), CheckError);
 }
 
+TEST(FaultInjector, ProfileValidationRejectsEveryBadKnob) {
+  // Regression: GenerateFaultSchedule once sanitized nothing, so a negative
+  // or NaN rate silently produced an empty (or endless) schedule instead of
+  // failing loudly. Every rate/mean/multiplier knob is now validated.
+  sim::FaultProfile good;
+  good.duration_s = HoursToSeconds(24.0);
+  good.num_gpus = 4;
+  good.gpu_faults_per_hour = 0.5;
+  good.flash_crowds_per_hour = 0.5;
+  good.trace_dropouts_per_hour = 0.2;
+  good.rtt_spikes_per_hour = 1.0;
+  EXPECT_NO_THROW(sim::GenerateFaultSchedule(good, 7));
+
+  const auto expect_rejected = [&](auto&& corrupt) {
+    sim::FaultProfile bad = good;
+    corrupt(bad);
+    EXPECT_THROW(sim::GenerateFaultSchedule(bad, 7), CheckError);
+  };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  expect_rejected([&](sim::FaultProfile& p) { p.gpu_faults_per_hour = -1.0; });
+  expect_rejected([&](sim::FaultProfile& p) { p.gpu_faults_per_hour = nan; });
+  expect_rejected([&](sim::FaultProfile& p) { p.mean_gpu_outage_s = -5.0; });
+  expect_rejected([&](sim::FaultProfile& p) { p.mean_gpu_outage_s = inf; });
+  expect_rejected(
+      [&](sim::FaultProfile& p) { p.flash_crowds_per_hour = inf; });
+  expect_rejected([&](sim::FaultProfile& p) { p.mean_flash_crowd_s = nan; });
+  expect_rejected(
+      [&](sim::FaultProfile& p) { p.flash_crowd_multiplier = 1.0; });
+  expect_rejected(
+      [&](sim::FaultProfile& p) { p.flash_crowd_multiplier = nan; });
+  expect_rejected(
+      [&](sim::FaultProfile& p) { p.trace_dropouts_per_hour = -0.1; });
+  expect_rejected(
+      [&](sim::FaultProfile& p) { p.mean_trace_dropout_s = -1.0; });
+  expect_rejected([&](sim::FaultProfile& p) { p.rtt_spikes_per_hour = nan; });
+  expect_rejected([&](sim::FaultProfile& p) { p.mean_rtt_spike_s = inf; });
+  expect_rejected([&](sim::FaultProfile& p) { p.rtt_spike_ms = -10.0; });
+  expect_rejected([&](sim::FaultProfile& p) { p.rtt_spike_ms = nan; });
+  expect_rejected([&](sim::FaultProfile& p) { p.duration_s = -1.0; });
+  expect_rejected([&](sim::FaultProfile& p) { p.duration_s = inf; });
+  expect_rejected([&](sim::FaultProfile& p) { p.num_gpus = 0; });
+}
+
 TEST(FaultInjector, GeneratorIsSeededAndCategoryIndependent) {
   sim::FaultProfile profile;
   profile.duration_s = HoursToSeconds(24.0);

@@ -267,7 +267,10 @@ TEST(FleetRouting, AntiCorrelatedCarbonGreedyBeatsStaticAtEqualSlo) {
   EXPECT_GE(save_pct, 2.0) << "spatial arbitrage did not pay";
   EXPECT_LE(greedy.fleet.overall_p95_ms, greedy.slo_budget_ms);
   EXPECT_LE(static_split.fleet.overall_p95_ms, static_split.slo_budget_ms);
-  EXPECT_GE(greedy.slo_attainment, static_split.slo_attainment - 0.05);
+  // SLO parity, not merely "no collapse": since the router's latency-
+  // headroom derate, greedy and static attainment agree to within one
+  // 300 s window of the 6 h x 2-region run (1/72 ~= 0.014, rounded up).
+  EXPECT_NEAR(greedy.slo_attainment, static_split.slo_attainment, 0.02);
   // Quality holds: fleet accuracy within the family's published range and
   // not materially below the static split's.
   EXPECT_GE(greedy.fleet.weighted_accuracy,

@@ -1,0 +1,175 @@
+// ShardedClusterSim (sim/sharded_sim.h) contract tests.
+//
+// The load-bearing property is the shard determinism contract: the thread
+// count decides which pool slot advances which lane, never what any lane
+// computes, so a run's ShardedSummary (including every merged window) must
+// be bit-identical at 1, 2 and 8 threads. The remaining tests pin the merge
+// arithmetic (conservation across lanes), the global fault routing, and the
+// constructor's validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "models/zoo.h"
+#include "serving/deployment.h"
+#include "sim/arrivals.h"
+#include "sim/sharded_sim.h"
+
+namespace clover::sim {
+namespace {
+
+constexpr int kLaneGpus = 2;
+constexpr double kSpanSeconds = 900.0;  // 3 default windows
+
+ShardedSimOptions BaseOptions(int lanes, std::uint64_t seed = 7) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  ShardedSimOptions options;
+  options.num_lanes = lanes;
+  options.base.arrival_rate_qps =
+      SizeArrivalRate(zoo, models::Application::kClassification, kLaneGpus) *
+      lanes;
+  options.base.seed = seed;
+  return options;
+}
+
+ShardedSummary RunSharded(const ShardedSimOptions& options, int threads) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const carbon::CarbonTrace trace("shard-flat", 3600.0,
+                                  std::vector<double>(4, 250.0));
+  const serving::Deployment lane =
+      serving::MakeBase(models::Application::kClassification, kLaneGpus);
+  ShardedClusterSim sim(lane, zoo, &trace, options);
+  if (threads <= 1) {
+    sim.AdvanceTo(kSpanSeconds, nullptr);
+  } else {
+    ThreadPool pool(threads);
+    sim.AdvanceTo(kSpanSeconds, &pool);
+  }
+  return sim.Summary();
+}
+
+TEST(ShardedSim, BitIdenticalAcrossThreadCounts) {
+  const ShardedSimOptions options = BaseOptions(/*lanes=*/4);
+  const ShardedSummary serial = RunSharded(options, 1);
+  const ShardedSummary two = RunSharded(options, 2);
+  const ShardedSummary eight = RunSharded(options, 8);
+
+  EXPECT_TRUE(ShardedSummariesBitIdentical(serial, two));
+  EXPECT_TRUE(ShardedSummariesBitIdentical(serial, eight));
+  // The contract is not vacuous: the run did real work and closed windows.
+  EXPECT_GT(serial.completions, 1000u);
+  EXPECT_EQ(serial.windows.size(), 3u);
+  // Field-level spot checks so a predicate bug cannot mask a regression.
+  EXPECT_EQ(serial.completions, eight.completions);
+  EXPECT_EQ(serial.p95_ms, eight.p95_ms);
+  EXPECT_EQ(serial.total_carbon_g, eight.total_carbon_g);
+  ASSERT_EQ(serial.windows.size(), eight.windows.size());
+  for (std::size_t w = 0; w < serial.windows.size(); ++w) {
+    EXPECT_EQ(serial.windows[w].p95_ms, eight.windows[w].p95_ms);
+    EXPECT_EQ(serial.windows[w].energy_j, eight.windows[w].energy_j);
+  }
+}
+
+TEST(ShardedSim, MergeConservesLaneTotals) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const carbon::CarbonTrace trace("shard-flat", 3600.0,
+                                  std::vector<double>(4, 250.0));
+  const serving::Deployment lane =
+      serving::MakeBase(models::Application::kClassification, kLaneGpus);
+  ShardedClusterSim sim(lane, zoo, &trace, BaseOptions(/*lanes=*/3));
+  sim.AdvanceTo(kSpanSeconds, nullptr);
+  const ShardedSummary summary = sim.Summary();
+
+  std::uint64_t arrivals = 0, completions = 0;
+  double energy = 0.0;
+  for (int i = 0; i < sim.num_lanes(); ++i) {
+    arrivals += sim.lane(i).total_arrivals();
+    completions += sim.lane(i).total_completions();
+    energy += sim.lane(i).total_energy_j();
+  }
+  EXPECT_EQ(summary.arrivals, arrivals);
+  EXPECT_EQ(summary.completions, completions);
+  EXPECT_EQ(summary.sim_events, arrivals + completions);
+  EXPECT_EQ(summary.total_energy_j, energy);
+
+  // Window-level conservation: every merged window is the index-aligned
+  // sum of the lanes' windows.
+  ASSERT_EQ(summary.windows.size(), 3u);
+  for (std::size_t w = 0; w < summary.windows.size(); ++w) {
+    std::uint64_t window_completions = 0;
+    double window_carbon = 0.0;
+    for (int i = 0; i < sim.num_lanes(); ++i) {
+      window_completions += sim.lane(i).windows()[w].completions;
+      window_carbon += sim.lane(i).windows()[w].carbon_g;
+    }
+    EXPECT_EQ(summary.windows[w].completions, window_completions);
+    EXPECT_EQ(summary.windows[w].carbon_g, window_carbon);
+  }
+}
+
+TEST(ShardedSim, GpuFaultsRouteToTheOwningLane) {
+  // Knock out every GPU of lane 1 (global indices 2 and 3 of a 2-lane,
+  // 2-GPUs-per-lane cluster) for most of the run: lane 1 must lose
+  // completions while lane 0 stays bit-identical to the fault-free run.
+  ShardedSimOptions faulted = BaseOptions(/*lanes=*/2);
+  faulted.base.faults.gpu_faults.push_back({2, 100.0, 800.0});
+  faulted.base.faults.gpu_faults.push_back({3, 100.0, 800.0});
+  const ShardedSimOptions clean = BaseOptions(/*lanes=*/2);
+
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const carbon::CarbonTrace trace("shard-flat", 3600.0,
+                                  std::vector<double>(4, 250.0));
+  const serving::Deployment lane =
+      serving::MakeBase(models::Application::kClassification, kLaneGpus);
+  ShardedClusterSim with_fault(lane, zoo, &trace, faulted);
+  ShardedClusterSim no_fault(lane, zoo, &trace, clean);
+  with_fault.AdvanceTo(kSpanSeconds, nullptr);
+  no_fault.AdvanceTo(kSpanSeconds, nullptr);
+
+  EXPECT_EQ(with_fault.lane(0).total_completions(),
+            no_fault.lane(0).total_completions());
+  EXPECT_LT(with_fault.lane(1).total_completions(),
+            no_fault.lane(1).total_completions());
+}
+
+TEST(ShardedSim, FlashCrowdsReplicateToEveryLane) {
+  ShardedSimOptions crowded = BaseOptions(/*lanes=*/2);
+  crowded.base.faults.flash_crowds.push_back({100.0, 700.0, 2.0});
+  const ShardedSimOptions clean = BaseOptions(/*lanes=*/2);
+
+  const ShardedSummary with_crowd = RunSharded(crowded, 1);
+  const ShardedSummary without = RunSharded(clean, 1);
+  EXPECT_GT(with_crowd.arrivals, without.arrivals);
+}
+
+TEST(ShardedSim, RejectsBadConfigurations) {
+  const models::ModelZoo& zoo = models::DefaultZoo();
+  const carbon::CarbonTrace trace("shard-flat", 3600.0,
+                                  std::vector<double>(4, 250.0));
+  const serving::Deployment lane =
+      serving::MakeBase(models::Application::kClassification, kLaneGpus);
+
+  ShardedSimOptions no_lanes = BaseOptions(/*lanes=*/1);
+  no_lanes.num_lanes = 0;
+  EXPECT_THROW(ShardedClusterSim(lane, zoo, &trace, no_lanes), CheckError);
+
+  // A gpu fault must name a GPU inside the global range
+  // [0, num_lanes * gpus_per_lane).
+  ShardedSimOptions out_of_range = BaseOptions(/*lanes=*/2);
+  out_of_range.base.faults.gpu_faults.push_back({4, 10.0, 20.0});
+  EXPECT_THROW(ShardedClusterSim(lane, zoo, &trace, out_of_range),
+               CheckError);
+}
+
+TEST(ShardedSim, SingleLaneRunsAndMerges) {
+  const ShardedSummary summary = RunSharded(BaseOptions(/*lanes=*/1), 1);
+  EXPECT_GT(summary.completions, 0u);
+  EXPECT_EQ(summary.num_lanes, 1);
+  EXPECT_EQ(summary.windows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace clover::sim
