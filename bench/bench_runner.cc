@@ -42,6 +42,13 @@
 //                    carbon-greedy global router vs the static split;
 //                    reports the spatial gCO2 saving and checks the fleet
 //                    bit-identity contract (--threads vs 1 thread)
+//   live_serving     the epoll serving front-end end to end: replays the
+//                    trace-derived schedule over loopback TCP in flood
+//                    mode (core/live_service.h); reports wire req/s and
+//                    live virtual p50/p99, and enforces the worker-count
+//                    invariance contract (--threads workers vs 1 must
+//                    produce a bit-identical twin report and identical
+//                    live latencies) via exit status
 //
 // Exit status is nonzero when any parallel run failed the bit-identity
 // check, so CI catches determinism regressions without a threshold.
@@ -57,6 +64,7 @@
 #include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/harness.h"
+#include "core/live_service.h"
 #include "exp/campaign.h"
 #include "exp/runner.h"
 #include "fleet/fleet_sim.h"
@@ -142,6 +150,7 @@ struct SuiteScale {
   int shard_lanes = 8;              // sharded_sim lane count
   double shard_seconds = 600.0;     // sharded_sim span
   int screen_factor = 16;           // opt_screened oversampling factor
+  double live_hours = 0.25;         // live_serving span (virtual)
 };
 
 SuiteScale ScaleFor(const std::string& suite) {
@@ -155,6 +164,7 @@ SuiteScale ScaleFor(const std::string& suite) {
     scale.fleet_hours = 12.0;
     scale.shard_lanes = 16;
     scale.shard_seconds = 3600.0;
+    scale.live_hours = 1.0;
   }
   return scale;
 }
@@ -569,6 +579,85 @@ ScenarioTiming RunFleetRouting(const RunnerFlags& flags,
   return timing;
 }
 
+// ---------------------------------------------------------------------------
+// live_serving: the epoll front end + replay client over loopback TCP.
+// ---------------------------------------------------------------------------
+ScenarioTiming RunLiveServing(const RunnerFlags& flags,
+                              const SuiteScale& scale,
+                              const carbon::CarbonTrace& trace) {
+  core::ExperimentConfig config;
+  config.app = models::Application::kClassification;
+  config.scheme = core::Scheme::kClover;
+  config.trace = &trace;
+  config.duration_hours = scale.live_hours;
+  config.num_gpus = config.sizing_gpus = std::min(scale.gpus, 4);
+  config.seed = flags.seed;
+
+  // One harness for both runs: the calibration cache makes the serial twin
+  // reuse the flood run's BASE calibration instead of re-simulating it.
+  core::ExperimentHarness harness(&models::DefaultZoo());
+  auto run_once = [&](std::size_t workers) {
+    core::LiveRunOptions options;
+    options.worker_threads = workers;
+    options.batch_max_requests = 512;  // flood mode: amortize the handoff
+    return core::RunLiveExperiment(&harness, &models::DefaultZoo(), config,
+                                   options);
+  };
+
+  WallTimer timer;
+  const core::LiveRunResult run =
+      run_once(static_cast<std::size_t>(flags.threads));
+  const double wall = timer.Seconds();
+
+  ScenarioTiming timing;
+  timing.name = "live_serving";
+  timing.wall_seconds = wall;
+  timing.events = run.replay.sent;
+  // Wire throughput: requests pushed through the socket pair per wall
+  // second of replay (excludes calibration/teardown, which `wall` keeps).
+  timing.events_per_sec = run.replay.achieved_qps;
+  timing.sim_p50_ms = run.stats.p50_virtual_ms;
+  timing.sim_p99_ms = run.stats.p99_virtual_ms;
+  // The worker-count invariance contract (serving/live_server.h): worker
+  // threads only parallelize response encoding, never the virtual-time
+  // section, so the twin report must be bit-identical and the live
+  // latency distribution exactly equal. all_acked folds the transport
+  // into the same gate: every request got exactly one response.
+  timing.deterministic = run.replay.all_acked;
+  if (flags.threads > 1) {
+    const core::LiveRunResult serial = run_once(1);
+    timing.deterministic =
+        timing.deterministic && serial.replay.all_acked &&
+        core::RunReportsBitIdentical(run.twin_report, serial.twin_report) &&
+        run.stats.p50_virtual_ms == serial.stats.p50_virtual_ms &&
+        run.stats.p99_virtual_ms == serial.stats.p99_virtual_ms &&
+        run.stats.completed == serial.stats.completed &&
+        run.commits.size() == serial.commits.size();
+  }
+  const double shed_pct =
+      run.replay.sent > 0
+          ? 100.0 * static_cast<double>(run.replay.shed()) /
+                static_cast<double>(run.replay.sent)
+          : 0.0;
+  // The SLA is a p95 budget (params.l_tail_ms = BASE's calibrated p95);
+  // p99 gets the conventional 2x of the p95 budget.
+  const double slo_ms = run.twin_report.params.l_tail_ms;
+  const double live_p95_ms = run.replay.ok_latency_virtual_ms.Quantile(0.95);
+  const bool slo_ok =
+      live_p95_ms <= slo_ms && timing.sim_p99_ms <= 2.0 * slo_ms;
+  timing.notes =
+      std::to_string(config.num_gpus) + " GPUs, " +
+      std::to_string(flags.threads) + " workers vs 1, flood replay over " +
+      TextTable::Num(scale.live_hours, 2) + " virtual h; shed " +
+      TextTable::Num(shed_pct, 2) + "%, live p95 " +
+      TextTable::Num(live_p95_ms, 1) + " ms vs SLO " +
+      TextTable::Num(slo_ms, 1) + " ms, p99 " +
+      TextTable::Num(timing.sim_p99_ms, 1) + " ms vs " +
+      TextTable::Num(2.0 * slo_ms, 1) + " ms (" +
+      (slo_ok ? "ok" : "OVER") + ")";
+  return timing;
+}
+
 }  // namespace
 }  // namespace clover::bench
 
@@ -649,6 +738,7 @@ int main(int argc, char** argv) {
   }
 
   suite.scenarios.push_back(bench::RunFleetRouting(flags, scale));
+  suite.scenarios.push_back(bench::RunLiveServing(flags, scale, flat));
 
   std::filesystem::create_directories(flags.out_dir);
   const std::string json_path =

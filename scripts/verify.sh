@@ -15,8 +15,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Perf baseline: the bench_runner_smoke ctest above already ran the smoke
-# suite (fleet_routing + fault_recovery + the campaign-routed e2e_step
-# included) and wrote its JSON; validate the schema and required scenarios
+# suite (fleet_routing + fault_recovery + the campaign-routed e2e_step +
+# the loopback live_serving run included) and wrote its JSON; validate the schema and required scenarios
 # and soft-gate against the committed baseline (regressions beyond the
 # tolerance print warnings, never fail — mirrors the CI step). The
 # committed baseline is Release-built, so — like CI — the compare only
@@ -34,6 +34,7 @@ if command -v python3 >/dev/null; then
     --require-scenario e2e_step \
     --require-scenario sharded_sim \
     --require-scenario opt_screened \
+    --require-scenario live_serving \
     ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} \
     "$BUILD_DIR"/bench/bench_smoke_out/BENCH_smoke.json
 fi

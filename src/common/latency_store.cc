@@ -1,0 +1,97 @@
+#include "common/latency_store.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace clover {
+namespace {
+
+// ms -> integer nanoseconds, round-to-nearest. Nanosecond granularity
+// keeps the mean exact far below the histogram's own resolution while a
+// u64 still holds ~584 years of summed latency.
+std::uint64_t LatencyToNs(double latency_ms) {
+  if (!(latency_ms > 0.0)) return 0;
+  return static_cast<std::uint64_t>(latency_ms * 1e6 + 0.5);
+}
+
+std::uint64_t AccuracyToPpm(double accuracy) {
+  if (!(accuracy > 0.0)) return 0;
+  return static_cast<std::uint64_t>(accuracy * 1e6 + 0.5);
+}
+
+}  // namespace
+
+ShardedLatencyStore::ShardedLatencyStore(std::size_t num_shards)
+    : num_shards_(num_shards),
+      shards_(std::make_unique<Shard[]>(num_shards)) {
+  CLOVER_CHECK_MSG(num_shards >= 1, "latency store needs >= 1 shard");
+}
+
+void ShardedLatencyStore::Record(std::size_t shard, double latency_ms,
+                                 double accuracy) {
+  Shard& s = shards_[shard % num_shards_];
+  s.bins[LogHistogramQuantile::BinIndex(latency_ms)].fetch_add(
+      1, std::memory_order_relaxed);
+  s.latency_ns_sum.fetch_add(LatencyToNs(latency_ms),
+                             std::memory_order_relaxed);
+  s.accuracy_ppm_sum.fetch_add(AccuracyToPpm(accuracy),
+                               std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+LogHistogramQuantile ShardedLatencyStore::FoldHistogram() const {
+  LogHistogramQuantile folded;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    const Shard& s = shards_[i];
+    for (std::size_t bin = 0; bin < LogHistogramQuantile::kNumBins; ++bin) {
+      const std::uint64_t n = s.bins[bin].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      // BinRepresentative round-trips to the same bin (quantile.h), so
+      // the folded histogram's bins equal a serial histogram's exactly.
+      folded.Add(LogHistogramQuantile::BinRepresentative(bin), n);
+    }
+  }
+  return folded;
+}
+
+ShardedLatencyStore::Totals ShardedLatencyStore::FoldTotals() const {
+  std::uint64_t count = 0;
+  std::uint64_t latency_ns = 0;
+  std::uint64_t accuracy_ppm = 0;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    const Shard& s = shards_[i];
+    count += s.count.load(std::memory_order_relaxed);
+    latency_ns += s.latency_ns_sum.load(std::memory_order_relaxed);
+    accuracy_ppm += s.accuracy_ppm_sum.load(std::memory_order_relaxed);
+  }
+  Totals totals;
+  totals.count = count;
+  if (count > 0) {
+    totals.mean_latency_ms =
+        static_cast<double>(latency_ns) / 1e6 / static_cast<double>(count);
+    totals.mean_accuracy =
+        static_cast<double>(accuracy_ppm) / 1e6 / static_cast<double>(count);
+  }
+  return totals;
+}
+
+std::uint64_t ShardedLatencyStore::TotalCount() const {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    count += shards_[i].count.load(std::memory_order_relaxed);
+  }
+  return count;
+}
+
+void ShardedLatencyStore::Reset() {
+  for (std::size_t i = 0; i < num_shards_; ++i) {
+    Shard& s = shards_[i];
+    for (auto& bin : s.bins) bin.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.latency_ns_sum.store(0, std::memory_order_relaxed);
+    s.accuracy_ppm_sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace clover

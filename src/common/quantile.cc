@@ -106,18 +106,20 @@ void P2Quantile::Add(double x) {
   }
 }
 
-LogHistogramQuantile::LogHistogramQuantile() {
-  const int decades =
-      static_cast<int>(std::log10(kMaxValue / kMinValue) + 0.5);
-  bins_.assign(static_cast<std::size_t>(decades * kBinsPerDecade) + 2, 0);
-}
+// kDecades is a hand-written constant (std::log10 is not constexpr on all
+// toolchains); pin it to the actual range.
+static_assert(LogHistogramQuantile::kMinValue * 1e10 ==
+                  LogHistogramQuantile::kMaxValue,
+              "kDecades must equal log10(kMaxValue / kMinValue)");
 
-std::size_t LogHistogramQuantile::BinOf(double x) const {
+LogHistogramQuantile::LogHistogramQuantile() { bins_.assign(kNumBins, 0); }
+
+std::size_t LogHistogramQuantile::BinIndex(double x) {
   if (!(x > kMinValue)) return 0;
   const double position =
       std::log10(x / kMinValue) * kBinsPerDecade;
   const auto bin = static_cast<std::size_t>(position) + 1;
-  return std::min(bin, bins_.size() - 1);
+  return std::min(bin, kNumBins - 1);
 }
 
 void LogHistogramQuantile::Add(double x) {
@@ -131,9 +133,9 @@ void LogHistogramQuantile::Add(double x, std::uint64_t count) {
   count_ += count;
 }
 
-double LogHistogramQuantile::BinValue(std::size_t bin) const {
+double LogHistogramQuantile::BinRepresentative(std::size_t bin) {
   if (bin == 0) return kMinValue;
-  if (bin == bins_.size() - 1) return kMaxValue;
+  if (bin >= kNumBins - 1) return kMaxValue;
   const double lo = kMinValue * std::pow(10.0, static_cast<double>(bin - 1) /
                                                    kBinsPerDecade);
   const double hi =

@@ -107,8 +107,23 @@ class LogHistogramQuantile {
   static constexpr double kMinValue = 1e-2;   // 0.01 ms
   static constexpr double kMaxValue = 1e8;    // ~28 h
   static constexpr int kBinsPerDecade = 50;
+  static constexpr int kDecades = 10;  // log10(kMaxValue / kMinValue)
+  // Total bin count: kDecades full decades plus the two clamp bins (below
+  // kMinValue, at/above kMaxValue).
+  static constexpr std::size_t kNumBins =
+      static_cast<std::size_t>(kDecades * kBinsPerDecade) + 2;
 
   LogHistogramQuantile();
+
+  // The bin mapping as free (static) functions, so external accumulators
+  // can share this histogram's geometry without owning an instance — the
+  // lock-free ShardedLatencyStore (common/latency_store.h) keeps raw
+  // atomic bin arrays and folds them back through Add(BinRepresentative).
+  // BinIndex(x) is the bin Add(x) increments; BinRepresentative(bin) is
+  // the value Quantile() reports for that bin, and it round-trips:
+  // BinIndex(BinRepresentative(b)) == b for every b.
+  static std::size_t BinIndex(double x);
+  static double BinRepresentative(std::size_t bin);
 
   void Add(double x);
   // Adds `count` observations of value `x` in one update.
@@ -131,10 +146,10 @@ class LogHistogramQuantile {
   void Reset();
 
  private:
-  std::size_t BinOf(double x) const;
+  std::size_t BinOf(double x) const { return BinIndex(x); }
   // Representative value of a bin (the same geometric midpoint Quantile
   // reports for it).
-  double BinValue(std::size_t bin) const;
+  double BinValue(std::size_t bin) const { return BinRepresentative(bin); }
 
   std::vector<std::uint64_t> bins_;
   std::uint64_t count_ = 0;

@@ -178,6 +178,8 @@ RunReport ExperimentHarness::Run(const ExperimentConfig& config) {
   sim_options.seed = config.seed;
   sim_options.burst = config.burst;
   sim_options.faults = config.faults;
+  if (config.service_jitter_sigma.has_value())
+    sim_options.service_jitter_sigma = *config.service_jitter_sigma;
   sim::ClusterSim sim(initial, *zoo_, trace, sim_options);
 
   std::unique_ptr<Controller> controller;

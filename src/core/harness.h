@@ -44,6 +44,12 @@ struct ExperimentConfig {
   // pipeline sees the trace. Calibration stays fault-free for the same
   // reason it stays steady.
   sim::FaultSchedule faults;
+  // Overrides the simulator's service-time jitter (perf::kServiceJitterSigma
+  // by default). The live-vs-simulated differential test pins it to 0 so
+  // service times are a pure function of (variant, slice) on both paths;
+  // evaluation runs leave it unset. Calibration is unaffected either way —
+  // the SLA stays defined on the standard jittered baseline.
+  std::optional<double> service_jitter_sigma;
   double lambda = 0.5;                     // objective weight (paper default)
   std::optional<double> accuracy_limit_pct;  // threshold mode (Fig. 14)
   double ci_base = 250.0;  // reference intensity for C_base

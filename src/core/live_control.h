@@ -1,0 +1,112 @@
+// Digital-twin control plane for the live serving path.
+//
+// The differential requirement this PR is built around: the live server's
+// control decisions must be *bit-identical* to ExperimentHarness::Run's
+// on the same configuration. Rather than re-implementing the controller
+// against live telemetry and hoping the two converge, the live control
+// plane embeds the simulated system wholesale — a ClusterSim ("twin")
+// plus the same core::Controller — and advances it with exactly the
+// harness's control loop, boundary by boundary:
+//
+//   harness:  for (t = I; t <= D + 1e-9; t += I) {
+//               target = min(t, D);
+//               if (target > sim.now()) sim.AdvanceTo(target);
+//               controller.Step();
+//             }
+//
+// Here the same iteration runs incrementally, driven by the virtual
+// timestamps of live traffic (serving/live_server.h): when the request
+// stream crosses boundary t, the twin advances and the controller steps.
+// The floating-point accumulation of t, the min() clamp, and the
+// advance-only-forward guard are replicated verbatim — the twin consumes
+// its own Poisson arrival stream (the same (rate, seed) the replay
+// schedule was drawn from), so its state at every boundary matches the
+// harness run event for event, and the controller, being deterministic
+// given sim state, makes the same decisions. TwinReport() then satisfies
+// RunReportsBitIdentical against the harness, and the commit log gives
+// the live executor the same deployments at the same virtual times.
+//
+// Fidelity boundary, stated honestly: *decisions* are bit-identical by
+// construction; *live latencies* are close but not identical to the
+// twin's, because the controller's candidate probes run against the twin
+// only (a live cluster cannot time-travel through candidate configs), so
+// during optimization windows the twin serves probe deployments while the
+// live executor keeps the last commit. The differential test bounds that
+// gap with an explicit tolerance (docs/TESTING.md, "Live vs simulated
+// parity").
+//
+// Threading: OnVirtualAdvance is called from the live server's workers,
+// but always inside the ticket-ordered section, so this class needs no
+// synchronization (live_server.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/harness.h"
+#include "serving/live_server.h"
+
+namespace clover::core {
+
+class LiveControlPlane : public serving::LiveControlHook {
+ public:
+  // Supports kBase (no controller), kClover and kBlover. The config is
+  // interpreted exactly as ExperimentHarness::Run does — calibration via
+  // `harness` (shared cache), trace dropout repair, sigma override.
+  LiveControlPlane(ExperimentHarness* harness, const models::ModelZoo* zoo,
+                   const ExperimentConfig& config);
+  ~LiveControlPlane() override;
+
+  double arrival_rate_qps() const { return calibration_.arrival_rate_qps; }
+  double duration_s() const { return duration_s_; }
+  double control_interval_s() const { return config_.control_interval_s; }
+  const serving::Deployment& initial_deployment() const { return initial_; }
+
+  // serving::LiveControlHook: fires every boundary strictly below
+  // `virtual_ts_s` (the simulator serves an arrival at exactly t before
+  // the controller steps at t, so the boundary at ts itself waits).
+  void OnVirtualAdvance(double virtual_ts_s,
+                        serving::VirtualExecutor* executor) override;
+
+  // Fires any boundaries the traffic never crossed and advances the twin
+  // to the end of the run (the harness's tail AdvanceTo). Call once,
+  // after the live server has stopped.
+  void Finish(serving::VirtualExecutor* executor);
+
+  // The run report of the embedded twin, assembled field-for-field like
+  // ExperimentHarness::Run's — the object the differential test holds
+  // against the real harness with RunReportsBitIdentical.
+  RunReport TwinReport() const;
+
+  struct DeploymentCommit {
+    double boundary_s = 0.0;  // control boundary that produced the commit
+    double ready_s = 0.0;     // executor's all-GPUs-online time
+    serving::Deployment deployment;
+  };
+  const std::vector<DeploymentCommit>& commits() const { return commits_; }
+  const std::vector<OptimizationRun>& history() const;
+
+ private:
+  void FireBoundary(serving::VirtualExecutor* executor);
+
+  ExperimentConfig config_;
+  const models::ModelZoo* zoo_;
+  std::optional<carbon::CarbonTrace> repaired_trace_;
+  const carbon::CarbonTrace* trace_ = nullptr;
+  BaselineCalibration calibration_;
+  opt::ObjectiveParams params_;
+  serving::Deployment initial_;
+  std::unique_ptr<sim::ClusterSim> twin_;
+  std::unique_ptr<Controller> controller_;
+
+  double duration_s_ = 0.0;
+  double next_boundary_s_ = 0.0;  // the loop's accumulating t
+  bool finished_ = false;
+  serving::Deployment last_deployment_;
+  std::vector<DeploymentCommit> commits_;
+  std::vector<OptimizationRun> empty_history_;
+};
+
+}  // namespace clover::core

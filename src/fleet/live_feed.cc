@@ -1,0 +1,27 @@
+#include "fleet/live_feed.h"
+
+#include "common/check.h"
+
+namespace clover::fleet {
+
+RegionSnapshot SnapshotFromLive(const serving::LiveStats& stats,
+                                const LiveRegionInputs& inputs) {
+  CLOVER_CHECK(inputs.window_s > 0.0);
+  RegionSnapshot snapshot;
+  snapshot.name = inputs.name;
+  snapshot.online = true;
+  snapshot.ci = inputs.ci;
+  snapshot.capacity_qps = inputs.capacity_qps;
+  snapshot.assigned_qps =
+      static_cast<double>(stats.admission.admitted) / inputs.window_s;
+  const std::uint64_t inflight =
+      stats.admission.admitted >= stats.completed
+          ? stats.admission.admitted - stats.completed
+          : 0;
+  snapshot.queue_depth = static_cast<double>(inflight);
+  snapshot.latency_penalty_ms = inputs.latency_penalty_ms;
+  snapshot.static_weight = inputs.static_weight;
+  return snapshot;
+}
+
+}  // namespace clover::fleet

@@ -1,0 +1,45 @@
+// Bridges live serving telemetry into the fleet router's snapshot model.
+//
+// The fleet controller was built against simulated regions: each rebalance
+// point folds per-region state into RegionSnapshots and asks a Router for
+// the split (router.h). A live region produces the same facts from its
+// serving front-end — admission counters and in-flight backlog from
+// serving::LiveStats, capacity from the deployment the control plane
+// currently runs. This translation is deliberately a pure function: given
+// equal inputs, the router's weights are bit-identical whether the region
+// is simulated or live, which is exactly what the differential test
+// asserts (routing is part of the "control decisions" contract, and the
+// live path must not perturb it).
+//
+// Field mapping, and why each source was chosen:
+//   assigned_qps  <- admitted / window: the rate actually entering the
+//                    cluster (shed traffic must not count as load or the
+//                    router would double-penalize an overloaded region);
+//   queue_depth   <- admitted - completed: the real in-flight backlog the
+//                    LeastLoadedRouter derates by;
+//   capacity_qps  <- caller-supplied nominal capacity of the committed
+//                    deployment (the live region cannot measure its own
+//                    ceiling without saturating itself).
+#pragma once
+
+#include <string>
+
+#include "fleet/router.h"
+#include "serving/live_server.h"
+
+namespace clover::fleet {
+
+struct LiveRegionInputs {
+  std::string name;
+  double ci = 0.0;
+  double capacity_qps = 0.0;
+  double latency_penalty_ms = 0.0;
+  double static_weight = 1.0;
+  // Length of the accounting window the stats cover, for rate conversion.
+  double window_s = 1.0;
+};
+
+RegionSnapshot SnapshotFromLive(const serving::LiveStats& stats,
+                                const LiveRegionInputs& inputs);
+
+}  // namespace clover::fleet

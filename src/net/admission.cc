@@ -1,0 +1,47 @@
+#include "net/admission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace clover::net {
+
+TokenBucket::TokenBucket(const TokenBucketOptions& options)
+    : options_(options), tokens_(options.burst) {
+  CLOVER_CHECK_MSG(options_.rate_per_s > 0.0,
+                   "token bucket rate must be > 0");
+  CLOVER_CHECK_MSG(options_.burst >= 1.0,
+                   "token bucket burst must admit at least one request");
+}
+
+bool TokenBucket::TryTake(double now) {
+  if (now > last_refill_) {
+    tokens_ = std::min(options_.burst,
+                       tokens_ + (now - last_refill_) * options_.rate_per_s);
+    last_refill_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options), bucket_(options.bucket) {}
+
+AdmissionVerdict AdmissionController::Offer(double now,
+                                            std::size_t queue_depth) {
+  ++counters_.offered;
+  if (options_.max_queue_depth > 0 &&
+      queue_depth >= options_.max_queue_depth) {
+    ++counters_.shed_queue;
+    return AdmissionVerdict::kShedQueue;
+  }
+  if (!bucket_.TryTake(now)) {
+    ++counters_.shed_rate;
+    return AdmissionVerdict::kShedRate;
+  }
+  ++counters_.admitted;
+  return AdmissionVerdict::kAdmit;
+}
+
+}  // namespace clover::net

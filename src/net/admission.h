@@ -1,0 +1,98 @@
+// Admission control for the live serving front-end.
+//
+// Two independent protection mechanisms, composed in AdmissionController:
+//
+//   * A token bucket bounds the *rate* the cluster is offered: the bucket
+//     refills continuously at `rate_per_s` up to `burst` tokens and each
+//     admitted request costs one token. Over any interval [t0, t1] the
+//     admitted count can therefore never exceed burst + rate·(t1-t0) —
+//     the exact bound tests/admission_test.cc property-checks.
+//
+//   * A queue-depth limit sheds when the backlog behind the admission
+//     point exceeds `max_queue_depth` — a near-saturated cluster builds an
+//     unbounded queue long before the token bucket notices, and shedding
+//     the excess keeps the latency of what *is* admitted bounded (the same
+//     "must guarantee the SLA" argument as the controller's capacity
+//     margin, core/controller.h).
+//
+// Every offered request gets exactly one verdict, so the controller's
+// counters satisfy exact conservation: offered == admitted + shed_rate +
+// shed_queue, always (also property-checked).
+//
+// The controller is a pure state machine over an externally supplied clock
+// — no wall-clock reads, no RNG, no threads. The live server feeds it
+// *virtual* time carried by the request stream (net/frame.h), which makes
+// its verdict sequence a deterministic function of (schedule, queue-depth
+// sequence): the replayability property the live-vs-simulated differential
+// test builds on. Offered timestamps must be non-decreasing; out-of-order
+// stragglers (interleaving across connections) are clamped to the
+// high-water mark rather than refunding tokens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clover::net {
+
+struct TokenBucketOptions {
+  double rate_per_s = 1000.0;  // sustained admission rate (> 0)
+  double burst = 100.0;        // bucket capacity, in requests (>= 1)
+};
+
+class TokenBucket {
+ public:
+  explicit TokenBucket(const TokenBucketOptions& options);
+
+  // Takes one token at time `now` if available. `now` earlier than a
+  // previous call is clamped (no refund, no negative refill).
+  bool TryTake(double now);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  TokenBucketOptions options_;
+  double tokens_;
+  double last_refill_ = 0.0;
+};
+
+enum class AdmissionVerdict : std::uint8_t {
+  kAdmit = 0,
+  kShedRate = 1,   // token bucket empty
+  kShedQueue = 2,  // queue depth at/over the limit
+};
+
+struct AdmissionOptions {
+  TokenBucketOptions bucket;
+  // Backlog (requests admitted but not yet completed) at/above which new
+  // requests are shed. 0 disables queue-depth shedding.
+  std::size_t max_queue_depth = 0;
+};
+
+struct AdmissionCounters {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_rate = 0;
+  std::uint64_t shed_queue = 0;
+
+  std::uint64_t shed() const { return shed_rate + shed_queue; }
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  // Verdict for one request offered at time `now` with `queue_depth`
+  // requests currently backlogged behind the admission point. The depth
+  // check runs first: a request the queue would reject must not burn a
+  // token (tokens are capacity the cluster can still use).
+  AdmissionVerdict Offer(double now, std::size_t queue_depth);
+
+  const AdmissionCounters& counters() const { return counters_; }
+
+ private:
+  AdmissionOptions options_;
+  TokenBucket bucket_;
+  AdmissionCounters counters_;
+};
+
+}  // namespace clover::net

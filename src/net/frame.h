@@ -1,0 +1,123 @@
+// Wire format of the live serving front-end: length-prefixed frames.
+//
+// Every message on a connection is one frame:
+//
+//   [u32 payload_length][payload_length bytes of payload]
+//
+// with all integers little-endian and doubles IEEE-754 binary64 (memcpy'd —
+// every platform this repo targets is little-endian IEEE-754; the codec
+// static_asserts what it can). Payloads begin with a one-byte type tag:
+//
+//   kRequest (1):  u8 type | u64 request_id | f64 virtual_ts_s
+//       One inference request. `virtual_ts_s` is the request's position in
+//       the replayed arrival schedule (virtual seconds since run start) —
+//       the live pipeline's clock is *carried by the traffic*, which is
+//       what makes admission and control decisions replayable: the same
+//       schedule produces the same decision sequence regardless of how
+//       fast the wall clock ran (docs/TESTING.md, "Live vs simulated
+//       parity").
+//
+//   kResponse (2): u8 type | u64 request_id | u8 status |
+//                  f64 latency_virtual_ms | f64 accuracy
+//       Completion (kOk: latency/accuracy of the serving instance) or a
+//       shed notice (kShedRate / kShedQueue: both payload fields 0) — shed
+//       requests are answered, never silently dropped, so the client can
+//       account exactly: sent == ok + shed.
+//
+//   kClockBeacon (3): u8 type | f64 virtual_ts_s
+//       Advances the receiver's virtual clock without offering a request.
+//       The load generator sends one after the last request so control
+//       boundaries between the final arrival and the end of the run still
+//       fire deterministically.
+//
+// The codec is transport-independent: FrameWriter appends encoded frames
+// to a byte vector, FrameDecoder consumes an arbitrarily-chunked byte
+// stream (partial reads included) and yields complete frames. Malformed
+// input (oversized length, unknown type, payload/type length mismatch)
+// is a hard decode error — the server closes the connection rather than
+// resynchronize.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace clover::net {
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kClockBeacon = 3,
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,
+  kShedRate = 1,   // token bucket empty
+  kShedQueue = 2,  // queue-depth limit reached
+};
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  double virtual_ts_s = 0.0;
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  double latency_virtual_ms = 0.0;
+  double accuracy = 0.0;
+};
+
+struct ClockBeaconFrame {
+  double virtual_ts_s = 0.0;
+};
+
+// One decoded frame; `type` selects which member is meaningful.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  RequestFrame request;
+  ResponseFrame response;
+  ClockBeaconFrame beacon;
+};
+
+// Exact wire sizes (header + payload), for buffer pre-sizing.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+inline constexpr std::size_t kRequestFrameBytes = kFrameHeaderBytes + 17;
+inline constexpr std::size_t kResponseFrameBytes = kFrameHeaderBytes + 26;
+inline constexpr std::size_t kClockBeaconFrameBytes = kFrameHeaderBytes + 9;
+// Upper bound on any payload this protocol defines; a length prefix above
+// it is a protocol error (garbage or a desynchronized stream).
+inline constexpr std::size_t kMaxPayloadBytes = 64;
+
+// Appends encoded frames to a caller-owned buffer (callers batch many
+// frames into one write() syscall).
+void AppendRequest(std::vector<std::uint8_t>* out, const RequestFrame& frame);
+void AppendResponse(std::vector<std::uint8_t>* out,
+                    const ResponseFrame& frame);
+void AppendClockBeacon(std::vector<std::uint8_t>* out,
+                       const ClockBeaconFrame& frame);
+
+// Incremental decoder over a chunked byte stream. Feed() arbitrary chunks;
+// Next() yields complete frames in order. After a decode error the decoder
+// is poisoned: Next() keeps returning nullopt and error() stays set.
+class FrameDecoder {
+ public:
+  // Appends `size` bytes to the pending buffer.
+  void Feed(const std::uint8_t* data, std::size_t size);
+
+  // Next complete frame, or nullopt when the buffer holds only a partial
+  // frame (or the stream is poisoned).
+  std::optional<Frame> Next();
+
+  bool error() const { return error_; }
+  // Bytes buffered but not yet consumed (partial frame tail).
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace clover::net

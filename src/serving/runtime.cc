@@ -24,6 +24,8 @@ InferenceRuntime::InferenceRuntime(const Deployment& deployment,
   }
   has_assignment_.assign(instances_.size(), false);
   assignment_.resize(instances_.size());
+  latency_store_ = std::make_unique<ShardedLatencyStore>(
+      instances_.empty() ? 1 : instances_.size());
 }
 
 InferenceRuntime::InferenceRuntime(const Deployment& deployment,
@@ -35,10 +37,6 @@ InferenceRuntime::~InferenceRuntime() { Drain(); }
 void InferenceRuntime::Start() {
   CLOVER_CHECK_MSG(!started_, "runtime already started");
   started_ = true;
-  // Pre-size the latency sample store so the completion path (which runs
-  // under mutex_) does not reallocate for the first queue_capacity
-  // requests; later growth is amortized geometric.
-  latencies_ms_.Reserve(options_.queue_capacity);
   dispatcher_ = std::thread(&InferenceRuntime::DispatcherLoop, this);
   workers_.reserve(instances_.size());
   for (std::size_t i = 0; i < instances_.size(); ++i)
@@ -130,17 +128,16 @@ void InferenceRuntime::WorkerLoop(std::size_t instance_index) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(scaled_ms));
     const auto now = std::chrono::steady_clock::now();
-    // Latency math happens outside the lock; only the shared accumulators
-    // are touched under it.
+    // Latency and accuracy accounting is lock-free: this worker owns shard
+    // `instance_index` of the sharded store, so recording never contends.
+    // Only the scheduling bookkeeping re-takes the mutex.
     const double sim_ms =
         std::chrono::duration<double, std::milli>(now - request.enqueue_time)
             .count() /
         options_.time_scale;
+    latency_store_->Record(instance_index, sim_ms, instance.accuracy);
 
     lock.lock();
-    latencies_ms_.Add(sim_ms);
-    latency_sum_ms_ += sim_ms;
-    accuracy_weighted_sum_ += instance.accuracy;
     ++instance.served;
     ++completed_;
     --in_flight_;
@@ -155,20 +152,23 @@ void InferenceRuntime::WorkerLoop(std::size_t instance_index) {
   }
 }
 
-InferenceRuntime::Stats InferenceRuntime::SnapshotStats() {
-  std::unique_lock<std::mutex> lock(mutex_);
+InferenceRuntime::Stats InferenceRuntime::SnapshotStats() const {
   Stats stats;
-  stats.submitted = submitted_;
-  stats.completed = completed_;
-  stats.p95_latency_ms = latencies_ms_.Quantile(0.95);
-  stats.mean_latency_ms =
-      completed_ > 0 ? latency_sum_ms_ / static_cast<double>(completed_) : 0.0;
-  stats.weighted_accuracy =
-      completed_ > 0 ? accuracy_weighted_sum_ / static_cast<double>(completed_)
-                     : 0.0;
-  stats.served_per_instance.reserve(instances_.size());
-  for (const Instance& instance : instances_)
-    stats.served_per_instance.push_back(instance.served);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.served_per_instance.reserve(instances_.size());
+    for (const Instance& instance : instances_)
+      stats.served_per_instance.push_back(instance.served);
+  }
+  // Fold-on-read, outside the lock: the store's counters are atomics, and
+  // a mid-run snapshot only needs a consistent-enough view (counts may
+  // lead/lag the locked fields by in-flight requests).
+  stats.p95_latency_ms = latency_store_->FoldHistogram().Quantile(0.95);
+  const ShardedLatencyStore::Totals totals = latency_store_->FoldTotals();
+  stats.mean_latency_ms = totals.mean_latency_ms;
+  stats.weighted_accuracy = totals.mean_accuracy;
   return stats;
 }
 

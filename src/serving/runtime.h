@@ -14,19 +14,22 @@
 //
 // Per-request state is pooled: the dispatcher hands work to workers through
 // pre-sized per-worker assignment slots (no allocation per dispatch), and
-// the latency sample store is reserved at Start() so the completion path —
-// the only code that runs under the runtime mutex per request — never
-// reallocates in steady state.
+// latency/accuracy accounting goes through a lock-free sharded store
+// (common/latency_store.h, one shard per instance) so the only per-request
+// work under the runtime mutex is the scheduling bookkeeping itself —
+// the store is what lets the live server (serving/live_server.h) reuse
+// this accounting at six-figure request rates.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
-#include "common/quantile.h"
+#include "common/latency_store.h"
 #include "serving/deployment.h"
 
 namespace clover::serving {
@@ -71,9 +74,14 @@ class InferenceRuntime {
   // after Drain() has begun.
   bool Submit();
 
-  // Non-const: the p95 query partially sorts the latency sample buffer in
-  // place under mutex_ (common/quantile.h documents the quantile contract).
-  Stats SnapshotStats();
+  // Const — and meaning it: quantiles fold the sharded store's histogram
+  // bins on read, so a query never mutates accumulator state. (An earlier
+  // revision computed p95 from an ExactQuantile, whose query re-sorts its
+  // sample buffer in place; that made SnapshotStats logically non-const
+  // and is regression-tested against in tests/serving_test.cc.) p95 is
+  // histogram-resolution, ~2.3% relative (common/quantile.h); means stay
+  // exact via the store's integer sums.
+  Stats SnapshotStats() const;
 
   int NumInstances() const { return static_cast<int>(instances_.size()); }
 
@@ -111,9 +119,10 @@ class InferenceRuntime {
   std::uint64_t completed_ = 0;
   std::uint64_t in_flight_ = 0;
   std::condition_variable all_done_;
-  ExactQuantile latencies_ms_;
-  double latency_sum_ms_ = 0.0;
-  double accuracy_weighted_sum_ = 0.0;
+  // One shard per instance; each worker records its completions into its
+  // own shard without touching mutex_. Constructed in the ctor body once
+  // the instance count is known.
+  std::unique_ptr<ShardedLatencyStore> latency_store_;
 
   std::thread dispatcher_;
   std::vector<std::thread> workers_;

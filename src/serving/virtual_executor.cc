@@ -1,0 +1,128 @@
+#include "serving/virtual_executor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "perf/perf_model.h"
+#include "serving/reconfig_planner.h"
+
+namespace clover::serving {
+
+VirtualExecutor::VirtualExecutor(const Deployment& initial,
+                                 const models::ModelZoo& zoo)
+    : deployment_(initial) {
+  deployment_.Validate(zoo);
+  const models::ModelFamily& family = zoo.ForApplication(deployment_.app);
+  for (const InstanceSpec& spec : deployment_.Instances()) {
+    Instance instance;
+    instance.gpu_index = spec.gpu_index;
+    instance.id = next_id_++;
+    const models::ModelVariant& variant = family.Variant(spec.variant_ordinal);
+    instance.accuracy = variant.accuracy;
+    instance.service_s =
+        MsToSeconds(perf::PerfModel::LatencyMs(family, variant, spec.slice));
+    instances_.push_back(instance);
+  }
+  CLOVER_CHECK_MSG(!instances_.empty(), "executor needs >= 1 instance");
+  SortDispatchOrder();
+}
+
+void VirtualExecutor::SortDispatchOrder() {
+  // The simulator's dispatch order (cluster_sim.cc RebuildDispatchOrder):
+  // accuracy desc, service asc, id asc.
+  std::sort(instances_.begin(), instances_.end(),
+            [](const Instance& a, const Instance& b) {
+              if (a.accuracy != b.accuracy) return a.accuracy > b.accuracy;
+              if (a.service_s != b.service_s) return a.service_s < b.service_s;
+              return a.id < b.id;
+            });
+}
+
+VirtualExecutor::Outcome VirtualExecutor::Execute(double arrival_s) {
+  // Greedy earliest-start over instances, scanning in dispatch order so
+  // equal start times resolve to the highest-accuracy instance (the
+  // strict `<` keeps the first — best — candidate on ties).
+  std::size_t best = 0;
+  double best_start = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& instance = instances_[i];
+    double start = arrival_s;
+    if (instance.free_at > start) start = instance.free_at;
+    if (instance.online_at > start) start = instance.online_at;
+    if (start < best_start) {
+      best_start = start;
+      best = i;
+    }
+  }
+  Instance& instance = instances_[best];
+  Outcome outcome;
+  outcome.completion_s = best_start + instance.service_s;
+  outcome.latency_virtual_ms = SecondsToMs(outcome.completion_s - arrival_s);
+  outcome.accuracy = instance.accuracy;
+  instance.free_at = outcome.completion_s;
+  ++executed_;
+  return outcome;
+}
+
+double VirtualExecutor::ApplyDeployment(const Deployment& next,
+                                        const models::ModelZoo& zoo,
+                                        double control_time_s,
+                                        const mig::RepartitionCostModel& cost) {
+  next.Validate(zoo);
+  CLOVER_CHECK(next.app == deployment_.app);
+  const ReconfigPlan plan = PlanReconfiguration(deployment_, next, zoo, cost);
+  if (plan.Empty()) {
+    deployment_ = next;
+    return control_time_s;
+  }
+
+  const int num_gpus = next.NumGpus();
+  std::vector<bool> affected(static_cast<std::size_t>(num_gpus), false);
+  std::vector<double> offline_s(static_cast<std::size_t>(num_gpus), 0.0);
+  for (const GpuReconfigPlan& gpu : plan.gpus) {
+    affected[static_cast<std::size_t>(gpu.gpu_index)] = true;
+    offline_s[static_cast<std::size_t>(gpu.gpu_index)] = gpu.offline_seconds;
+  }
+
+  // Drain point: affected GPUs finish their in-flight work first (the
+  // simulator runs its event loop until no affected instance is busy).
+  double drain_end = control_time_s;
+  for (const Instance& instance : instances_) {
+    if (affected[static_cast<std::size_t>(instance.gpu_index)] &&
+        instance.free_at > drain_end)
+      drain_end = instance.free_at;
+  }
+
+  std::vector<Instance> kept;
+  kept.reserve(instances_.size());
+  for (const Instance& instance : instances_) {
+    if (!affected[static_cast<std::size_t>(instance.gpu_index)])
+      kept.push_back(instance);
+  }
+  const models::ModelFamily& family = zoo.ForApplication(next.app);
+  double ready = drain_end;
+  for (const InstanceSpec& spec : next.Instances()) {
+    if (!affected[static_cast<std::size_t>(spec.gpu_index)]) continue;
+    Instance instance;
+    instance.gpu_index = spec.gpu_index;
+    instance.id = next_id_++;
+    const models::ModelVariant& variant = family.Variant(spec.variant_ordinal);
+    instance.accuracy = variant.accuracy;
+    instance.service_s =
+        MsToSeconds(perf::PerfModel::LatencyMs(family, variant, spec.slice));
+    instance.online_at =
+        drain_end + offline_s[static_cast<std::size_t>(spec.gpu_index)];
+    instance.free_at = instance.online_at;
+    if (instance.online_at > ready) ready = instance.online_at;
+    kept.push_back(instance);
+  }
+  instances_ = std::move(kept);
+  CLOVER_CHECK_MSG(!instances_.empty(), "reconfiguration left no instances");
+  deployment_ = next;
+  SortDispatchOrder();
+  return ready;
+}
+
+}  // namespace clover::serving

@@ -1,0 +1,98 @@
+// Deterministic virtual-time queueing engine for the live serving path.
+//
+// The live server (serving/live_server.h) answers every admitted request
+// with a *virtual* latency: the time the request would have spent in the
+// paper's dispatch discipline given its position in the replayed arrival
+// schedule. This class computes that outcome with the same policy the
+// discrete-event simulator implements (sim/cluster_sim.cc):
+//
+//   * FIFO across requests; when several instances are idle at an
+//     arrival, the highest-accuracy one serves it (ties: faster service,
+//     then lower id — the simulator's dispatch order);
+//   * when all instances are busy, the request waits for the first one to
+//     free (the simulator dispatches the queue head at each completion).
+//
+// Instead of an event loop, Execute() uses the equivalent greedy
+// recursion over per-instance next-free times: a request arriving at `a`
+// starts at min over instances of max(a, free_at, online_at), which is
+// exactly where completion-order dispatch puts it. That makes Execute
+// O(instances), allocation-free, and — the property everything rests on —
+// a pure function of the arrival sequence: no wall clock, no RNG, no
+// thread-schedule dependence. Service times are the perf model's
+// deterministic latencies (the differential test pins the simulator's
+// service jitter to zero so both paths agree; see core/harness.h
+// service_jitter_sigma).
+//
+// Known divergence from the simulator, accepted at histogram resolution:
+// when two instances free at the same instant, the simulator's event-heap
+// pop order picks the server, we pick dispatch order — completion times
+// are identical either way, only accuracy attribution can swap. The
+// differential test's latency tolerance covers it (docs/TESTING.md).
+//
+// Reconfiguration mirrors ApplyDeployment's drain-swap-online sequence:
+// affected GPUs finish in-flight work, stay offline for the plan's
+// per-GPU cost, and come back as the new instances; unaffected instances
+// keep their queue state. Arrivals during the outage naturally wait via
+// the online_at term of the recursion.
+//
+// Thread-safety: none. The live server serializes access by processing
+// batches in ticket order (live_server.cc), which is what makes its
+// results independent of worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mig/partition.h"
+#include "models/zoo.h"
+#include "serving/deployment.h"
+
+namespace clover::serving {
+
+class VirtualExecutor {
+ public:
+  VirtualExecutor(const Deployment& initial, const models::ModelZoo& zoo);
+
+  struct Outcome {
+    double latency_virtual_ms = 0.0;  // completion - arrival
+    double accuracy = 0.0;            // of the serving instance
+    double completion_s = 0.0;
+  };
+
+  // Serves one request arriving at `arrival_s` (virtual seconds).
+  // Arrivals must be offered in non-decreasing order.
+  Outcome Execute(double arrival_s);
+
+  // Reconfigures to `next` at control time `control_time_s`: plans the
+  // repartition against the current deployment, drains affected GPUs
+  // (their in-flight work finishes), and brings the new instances online
+  // after the per-GPU offline cost. Returns the time every GPU is back
+  // online. `cost` defaults to the same model the controller applies to
+  // the production simulator.
+  double ApplyDeployment(const Deployment& next, const models::ModelZoo& zoo,
+                         double control_time_s,
+                         const mig::RepartitionCostModel& cost = {});
+
+  const Deployment& deployment() const { return deployment_; }
+  std::uint64_t executed() const { return executed_; }
+  std::size_t num_instances() const { return instances_.size(); }
+
+ private:
+  struct Instance {
+    int gpu_index = 0;
+    std::int64_t id = 0;       // monotone across reconfigurations
+    double accuracy = 0.0;
+    double service_s = 0.0;
+    double online_at = 0.0;
+    double free_at = 0.0;      // next time this instance can start work
+  };
+
+  void SortDispatchOrder();
+
+  Deployment deployment_;
+  std::vector<Instance> instances_;  // kept in dispatch order
+  std::int64_t next_id_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace clover::serving

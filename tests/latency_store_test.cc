@@ -1,0 +1,156 @@
+// Tests for the lock-free sharded latency store (common/latency_store.h):
+// the fold must equal a serial LogHistogramQuantile fed the same samples
+// bit for bit at any worker count, means must be exact (integer fixed
+// point), and reads must be const and race-safe against live writers
+// (the ASan/UBSan job runs this file to hold the store to that).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/latency_store.h"
+#include "common/quantile.h"
+#include "common/rng.h"
+
+namespace clover {
+namespace {
+
+// A deterministic latency multiset spanning the histogram's range, heavy
+// around realistic service times.
+std::vector<double> SampleSet(std::size_t n, std::uint64_t seed) {
+  RngStream rng(seed, "latency-store-test");
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double decade = std::floor(rng.NextDouble() * 5.0) - 1.0;  // [-1,3]
+    samples.push_back(rng.NextDouble() * 9.0 * std::pow(10.0, decade) +
+                      std::pow(10.0, decade));
+  }
+  return samples;
+}
+
+// Fold-vs-serial bit identity, checked across the whole quantile range.
+void ExpectFoldEqualsSerial(const ShardedLatencyStore& store,
+                            const std::vector<double>& samples) {
+  LogHistogramQuantile serial;
+  for (const double sample : samples) serial.Add(sample);
+  const LogHistogramQuantile folded = store.FoldHistogram();
+  ASSERT_EQ(folded.count(), serial.count());
+  for (double q = 0.01; q < 1.0; q += 0.01)
+    ASSERT_EQ(folded.Quantile(q), serial.Quantile(q)) << "at q=" << q;
+  ASSERT_EQ(folded.Quantile(0.999), serial.Quantile(0.999));
+}
+
+void RunConcurrentWriters(std::size_t num_threads) {
+  const std::vector<double> samples = SampleSet(40000, 7);
+  ShardedLatencyStore store(num_threads);
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    writers.emplace_back([&, t] {
+      // Round-robin partition: thread t records samples t, t+T, t+2T, ...
+      for (std::size_t i = t; i < samples.size(); i += num_threads)
+        store.Record(t, samples[i], 80.0);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  ExpectFoldEqualsSerial(store, samples);
+}
+
+TEST(LatencyStore, FoldMatchesSerialOneThread) { RunConcurrentWriters(1); }
+TEST(LatencyStore, FoldMatchesSerialTwoThreads) { RunConcurrentWriters(2); }
+TEST(LatencyStore, FoldMatchesSerialEightThreads) { RunConcurrentWriters(8); }
+
+TEST(LatencyStore, TotalsAreExactIntegerSums) {
+  // Latencies quantized to whole microseconds and accuracies to ppm are
+  // representable exactly in the fixed-point sums, so the folded means are
+  // exact rational arithmetic — no float-accumulation drift, whatever the
+  // recording order.
+  ShardedLatencyStore store(4);
+  std::uint64_t ns_sum = 0;
+  std::uint64_t ppm_sum = 0;
+  constexpr std::size_t kN = 10000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double latency_ms = 0.001 * static_cast<double>(i % 977);
+    const double accuracy = 0.000001 * static_cast<double>((i * 37) % 100000);
+    store.Record(i % 4, latency_ms, accuracy);
+    ns_sum += static_cast<std::uint64_t>(latency_ms * 1e6 + 0.5);
+    ppm_sum += static_cast<std::uint64_t>(accuracy * 1e6 + 0.5);
+  }
+  const ShardedLatencyStore::Totals totals = store.FoldTotals();
+  EXPECT_EQ(totals.count, kN);
+  EXPECT_DOUBLE_EQ(totals.mean_latency_ms,
+                   static_cast<double>(ns_sum) / 1e6 / double(kN));
+  EXPECT_DOUBLE_EQ(totals.mean_accuracy,
+                   static_cast<double>(ppm_sum) / 1e6 / double(kN));
+}
+
+TEST(LatencyStore, ReadsAreConstAndSafeAgainstLiveWriters) {
+  // Fold-on-read through a const reference while writers hammer the
+  // shards: every intermediate fold sees word-atomic counters (no torn
+  // values — the sanitizer job verifies there is no data race), and the
+  // final fold is exact once writers joined.
+  ShardedLatencyStore store(4);
+  const ShardedLatencyStore& const_store = store;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 20000; ++i)
+        store.Record(t, 10.0 + double(i % 100), 80.0);
+    });
+  }
+  std::uint64_t last = 0;
+  while (!stop.load()) {
+    const std::uint64_t count = const_store.TotalCount();
+    EXPECT_GE(count, last);  // counts only grow
+    EXPECT_LE(count, 80000u);
+    last = count;
+    const LogHistogramQuantile mid = const_store.FoldHistogram();
+    EXPECT_LE(mid.count(), 80000u);
+    if (count == 80000u) stop.store(true);
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(const_store.TotalCount(), 80000u);
+  EXPECT_EQ(const_store.FoldTotals().count, 80000u);
+}
+
+TEST(LatencyStore, ShardIndexWrapsAndResetZeroes) {
+  ShardedLatencyStore store(2);
+  store.Record(0, 1.0, 50.0);
+  store.Record(5, 2.0, 50.0);  // 5 mod 2 = shard 1
+  EXPECT_EQ(store.TotalCount(), 2u);
+  store.Reset();
+  EXPECT_EQ(store.TotalCount(), 0u);
+  EXPECT_EQ(store.FoldHistogram().count(), 0u);
+  EXPECT_DOUBLE_EQ(store.FoldTotals().mean_latency_ms, 0.0);
+}
+
+TEST(LatencyStore, NonPositiveSamplesClampToMinimumBin) {
+  ShardedLatencyStore store(1);
+  store.Record(0, 0.0, 0.0);
+  store.Record(0, -5.0, -1.0);
+  LogHistogramQuantile serial;
+  serial.Add(0.0);
+  serial.Add(-5.0);
+  const LogHistogramQuantile folded = store.FoldHistogram();
+  EXPECT_EQ(folded.count(), 2u);
+  EXPECT_EQ(folded.Quantile(0.5), serial.Quantile(0.5));
+  // Negative fixed-point sums clamp at zero rather than wrapping.
+  EXPECT_DOUBLE_EQ(store.FoldTotals().mean_latency_ms, 0.0);
+}
+
+TEST(LatencyStore, BinGeometryRoundTrips) {
+  // The store writes bins via LogHistogramQuantile::BinIndex and folds via
+  // BinRepresentative; the histogram's serial Add must agree with that
+  // round trip on every bin, or fold-vs-serial identity breaks.
+  for (std::size_t bin = 0; bin < LogHistogramQuantile::kNumBins; ++bin) {
+    const double representative = LogHistogramQuantile::BinRepresentative(bin);
+    EXPECT_EQ(LogHistogramQuantile::BinIndex(representative), bin)
+        << "bin " << bin << " repr " << representative;
+  }
+}
+
+}  // namespace
+}  // namespace clover

@@ -243,6 +243,30 @@ TEST(Runtime, QueuePressureBlocksSubmitUntilDrained) {
   EXPECT_EQ(stats.completed, 300u);
 }
 
+TEST(Runtime, SnapshotStatsIsConstAndRepeatable) {
+  // Regression for the const contract: SnapshotStats used to feed the
+  // latency buffer to a mutating quantile query under the mutex, so it
+  // could not be const and back-to-back snapshots could disagree. With
+  // the fold-on-read sharded store it is const (this call compiles
+  // through a const reference) and pure: identical snapshots, any number
+  // of times, with no writers running.
+  const Deployment d = MakeUniform(Application::kClassification, 2, 19, 0);
+  InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
+  runtime.Start();
+  for (int i = 0; i < 400; ++i) ASSERT_TRUE(runtime.Submit());
+  runtime.Drain();
+
+  const InferenceRuntime& const_runtime = runtime;
+  const auto first = const_runtime.SnapshotStats();
+  const auto second = const_runtime.SnapshotStats();
+  EXPECT_EQ(first.completed, 400u);
+  EXPECT_EQ(second.completed, first.completed);
+  EXPECT_EQ(second.p95_latency_ms, first.p95_latency_ms);
+  EXPECT_EQ(second.mean_latency_ms, first.mean_latency_ms);
+  EXPECT_EQ(second.weighted_accuracy, first.weighted_accuracy);
+  EXPECT_GT(first.p95_latency_ms, 0.0);
+}
+
 TEST(Runtime, LatenciesAreAtLeastServiceTime) {
   const Deployment d = MakeUniform(Application::kDetection, 1, 1, 2);
   InferenceRuntime runtime(d, DefaultZoo(), FastOptions());
