@@ -8,6 +8,8 @@
 //       [--threads N]                   execution shards (default: spec)
 //       [--out DIR]                     output root (default campaign_out)
 //       [--resume]                      reuse <out>/runs/ journals
+//       [--trace-out F]                 Chrome trace dump (enables obs)
+//       [--metrics-out F]               metrics snapshot dump (enables obs)
 //   clover_campaign resume FILE ...     = run --resume
 //
 // `run` writes <out>/runs/<cell>.json as cells finish and folds everything
@@ -25,6 +27,8 @@
 #include "common/table.h"
 #include "exp/campaign.h"
 #include "exp/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -37,7 +41,7 @@ int Usage() {
   std::cerr << "usage: clover_campaign list [DIR]\n"
                "       clover_campaign validate FILE...\n"
                "       clover_campaign run FILE [--threads N] [--out DIR] "
-               "[--resume]\n"
+               "[--resume] [--trace-out F] [--metrics-out F]\n"
                "       clover_campaign resume FILE [--threads N] [--out "
                "DIR]\n";
   return 2;
@@ -96,7 +100,9 @@ int ValidateCampaigns(const std::vector<std::string>& paths) {
   return 0;
 }
 
-int RunCampaignFile(const std::string& path, const CampaignOptions& options) {
+int RunCampaignFile(const std::string& path, const CampaignOptions& options,
+                    const std::string& trace_out,
+                    const std::string& metrics_out) {
   try {
     const CampaignSpec spec = clover::exp::LoadCampaignSpec(path);
     std::cout << "==== campaign " << spec.name << " ====\n"
@@ -113,6 +119,15 @@ int RunCampaignFile(const std::string& path, const CampaignOptions& options) {
               << " cells (" << result.resumed_cells << " resumed) in "
               << clover::TextTable::Num(result.wall_seconds, 1)
               << " s\nwrote " << result.consolidated_path << "\n";
+    // Flight-recorder dumps after the campaign quiesced (workers joined).
+    if (!trace_out.empty()) {
+      clover::obs::Tracer::Get().WriteChromeTrace(trace_out);
+      std::cout << "wrote trace " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      clover::obs::Registry::Get().WriteMetricsJson(metrics_out);
+      std::cout << "wrote metrics " << metrics_out << "\n";
+    }
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "FAIL " << path << ": " << error.what() << "\n";
@@ -142,6 +157,7 @@ int main(int argc, char** argv) {
     options.print_tables = true;
     options.resume = command == "resume";
     std::string path;
+    std::string trace_out, metrics_out;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       auto next = [&]() -> const char* {
@@ -166,6 +182,10 @@ int main(int argc, char** argv) {
         options.out_dir = next();
       } else if (arg == "--resume") {
         options.resume = true;
+      } else if (arg == "--trace-out") {
+        trace_out = next();
+      } else if (arg == "--metrics-out") {
+        metrics_out = next();
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown flag " << arg << "\n";
         return Usage();
@@ -176,7 +196,14 @@ int main(int argc, char** argv) {
       }
     }
     if (path.empty()) return Usage();
-    return RunCampaignFile(path, options);
+    // The flight recorder is always armed for campaign runs (not just
+    // when --trace-out is given): a failing cell's triage bundle carries
+    // the ring tails and metric snapshots only if someone was recording
+    // before the failure. Idle-enabled overhead is within the obs_overhead
+    // budget and recording never perturbs results (docs/OBSERVABILITY.md).
+    clover::obs::SetEnabled(true);
+    clover::obs::Tracer::Get().Enable();
+    return RunCampaignFile(path, options, trace_out, metrics_out);
   }
 
   return Usage();

@@ -39,6 +39,8 @@
 #include "core/harness.h"
 #include "fleet/fleet_sim.h"
 #include "mig/slice_type.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/perf_model.h"
 #include "sim/analytic.h"
 
@@ -59,6 +61,8 @@ using namespace clover;
       << "  --limit PCT        enforce max accuracy loss (threshold mode)\n"
       << "  --seed S           RNG seed (default 1)\n"
       << "  --csv FILE         dump per-window series\n"
+      << "  --trace-out F      write Chrome trace JSON (enables obs)\n"
+      << "  --metrics-out F    write metrics snapshot JSON (enables obs)\n"
       << "oracle mode:\n"
       << "  --mmc RHO          print the closed-form M/M/c steady state for\n"
       << "                     --gpus BASE servers at utilization RHO\n"
@@ -99,6 +103,19 @@ carbon::TraceProfile ParseProfile(const std::string& name,
   if (name == "eso-march") return carbon::TraceProfile::kEsoMarch;
   std::cerr << "unknown trace profile " << name << "\n";
   Usage(argv0);
+}
+
+// Flight-recorder dumps, written after the run finishes (quiesced).
+void DumpObsOutputs(const std::string& trace_out,
+                    const std::string& metrics_out) {
+  if (!trace_out.empty()) {
+    obs::Tracer::Get().WriteChromeTrace(trace_out);
+    std::cout << "\nwrote trace " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    obs::Registry::Get().WriteMetricsJson(metrics_out);
+    std::cout << "wrote metrics " << metrics_out << "\n";
+  }
 }
 
 std::vector<std::string> SplitCommaList(const std::string& list) {
@@ -231,6 +248,7 @@ int main(int argc, char** argv) {
   std::string trace_name = "ciso-march";
   std::string trace_csv;
   std::string out_csv;
+  std::string trace_out, metrics_out;
   bool fleet_mode = false;
   bool trace_explicit = false;
   bool fleet_flags_used = false;
@@ -268,6 +286,10 @@ int main(int argc, char** argv) {
       config.seed = std::stoull(next());
     } else if (arg == "--csv") {
       out_csv = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--mmc") {
       mmc_rho = std::stod(next());
     } else if (arg == "--mmc-k") {
@@ -286,6 +308,11 @@ int main(int argc, char** argv) {
     } else {
       Usage(argv[0]);
     }
+  }
+
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::SetEnabled(true);
+    obs::Tracer::Get().Enable();
   }
 
   // Both directions of the mode split refuse flags the other pipeline
@@ -330,7 +357,10 @@ int main(int argc, char** argv) {
                    "--fleet (regions use the named presets)\n";
       Usage(argv[0]);
     }
-    return RunFleetMode(config, fleet_regions, fleet_router, fleet_threads);
+    const int status =
+        RunFleetMode(config, fleet_regions, fleet_router, fleet_threads);
+    DumpObsOutputs(trace_out, metrics_out);
+    return status;
   }
 
   carbon::TraceGeneratorOptions trace_options;
@@ -391,5 +421,6 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nper-window series written to " << out_csv << "\n";
   }
+  DumpObsOutputs(trace_out, metrics_out);
   return 0;
 }

@@ -11,6 +11,9 @@
 //                  [--burst N]         bucket burst (with --rate-limit)
 //                  [--depth-limit N]   queue-depth shedding threshold
 //                  [--batch N] [--flush-us U]
+//                  [--trace-out F]     dump a Chrome trace (Perfetto) of
+//                                      the run; implies observability on
+//                  [--metrics-out F]   dump the metrics snapshot log
 //
 // The schedule is drawn from the same Poisson stream the simulator uses
 // (core/live_service.h), so a run here is the wire-served counterpart of
@@ -25,6 +28,8 @@
 #include "carbon/trace_generator.h"
 #include "common/table.h"
 #include "core/live_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -46,7 +51,9 @@ using namespace clover;
       << "  --burst N          token-bucket burst (default 100)\n"
       << "  --depth-limit N    shed above this many in flight (default: off)\n"
       << "  --batch N          batch size cap (default 256)\n"
-      << "  --flush-us U       batch flush deadline, wall us (default 200)\n";
+      << "  --flush-us U       batch flush deadline, wall us (default 200)\n"
+      << "  --trace-out F      write Chrome trace JSON (enables obs)\n"
+      << "  --metrics-out F    write metrics snapshot JSON (enables obs)\n";
   std::exit(2);
 }
 
@@ -84,6 +91,7 @@ int main(int argc, char** argv) {
   config.num_gpus = config.sizing_gpus = 4;
 
   std::string trace_name = "ciso-march";
+  std::string trace_out, metrics_out;
   core::LiveRunOptions options;
   double bucket_burst = 100.0;
   std::optional<double> rate_limit;
@@ -122,9 +130,17 @@ int main(int argc, char** argv) {
       options.batch_max_requests = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--flush-us") {
       options.batch_flush_us = std::stod(next());
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else {
       Usage(argv[0]);
     }
+  }
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::SetEnabled(true);
+    obs::Tracer::Get().Enable();
   }
   if (rate_limit.has_value()) {
     options.bucket = net::TokenBucketOptions{.rate_per_s = *rate_limit,
@@ -190,6 +206,17 @@ int main(int argc, char** argv) {
   server.AddRow({"twin weighted accuracy",
                  TextTable::Num(result.twin_report.weighted_accuracy, 2)});
   server.Print(std::cout);
+
+  // Flight-recorder dumps after the run is fully quiesced (server stopped,
+  // workers joined), so the ring snapshots are exact.
+  if (!trace_out.empty()) {
+    obs::Tracer::Get().WriteChromeTrace(trace_out);
+    std::cout << "\nwrote trace " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    obs::Registry::Get().WriteMetricsJson(metrics_out);
+    std::cout << "wrote metrics " << metrics_out << "\n";
+  }
 
   return replay.all_acked ? 0 : 1;
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (as written by obs/trace.cc).
+
+Stdlib-only, same spirit as validate_bench_json.py: CI runs it against the
+smoke traces (bench_runner's TRACE_smoke.json and a clover_loadgen
+--trace-out dump) so a malformed trace fails the build before anyone loses
+an afternoon in Perfetto.
+
+Checks (JSON Object Format, trace_event spec):
+  * top level is an object with a traceEvents array
+  * every event has name (string), ph (string), pid (int), tid (int), and
+    a numeric ts unless ph == "M" (metadata carries no timestamp)
+  * ph is one of B E X I M
+  * per (pid, tid) lane, ts is monotone non-decreasing in array order
+    (obs/trace.cc emits per-thread rings oldest-first and splits restarted
+    virtual timelines onto fresh synthetic tids, so any regression is a
+    writer bug)
+  * B/E events pair up per (pid, tid): no E without an open B, nothing
+    left open at the end (the dump sanitizer is supposed to guarantee this)
+  * X (complete) events carry a numeric non-negative dur
+
+Exit status: 0 valid, 1 validation failure, 2 usage/IO error.
+"""
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "X", "I", "M"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ERROR: cannot load {path}: {e}")
+        sys.exit(2)
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not an array")
+
+    last_ts = {}    # (pid, tid) -> last seen ts
+    open_b = {}     # (pid, tid) -> stack of open B event names
+    counted = 0
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where} is not an object")
+        name = e.get("name")
+        ph = e.get("ph")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing/empty name")
+        if not isinstance(ph, str) or ph not in VALID_PHASES:
+            fail(f"{where} ({name}): bad ph {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                fail(f"{where} ({name}): missing integer {key}")
+        if ph == "M":
+            continue  # metadata: no ts required
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{where} ({name}): missing numeric ts")
+        lane = (e["pid"], e["tid"])
+        if lane in last_ts and ts < last_ts[lane]:
+            fail(f"{where} ({name}): ts {ts} < {last_ts[lane]} on "
+                 f"pid={lane[0]} tid={lane[1]} (non-monotone lane)")
+        last_ts[lane] = ts
+        if ph == "B":
+            open_b.setdefault(lane, []).append(name)
+        elif ph == "E":
+            stack = open_b.get(lane)
+            if not stack:
+                fail(f"{where} ({name}): E without a matching B on "
+                     f"pid={lane[0]} tid={lane[1]}")
+            stack.pop()
+        elif ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where} ({name}): X event needs numeric dur >= 0")
+        counted += 1
+
+    for lane, stack in open_b.items():
+        if stack:
+            fail(f"unclosed B events on pid={lane[0]} tid={lane[1]}: "
+                 f"{stack[:5]}")
+
+    lanes = len(last_ts)
+    print(f"ok {path}: {counted} events across {lanes} lanes "
+          f"({len(events) - counted} metadata)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_trace_json.py TRACE.json...")
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

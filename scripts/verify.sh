@@ -10,6 +10,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+# Failing gates self-diagnose into triage/<name>/ bundles (config, seeds,
+# metrics, trace tails, repro.sh — docs/OBSERVABILITY.md). Mirror CI's
+# `if: failure()` artifact upload by pointing at whatever bundles the
+# failed run left behind.
+list_triage_bundles() {
+  local status=$?
+  if [[ $status -ne 0 ]]; then
+    local bundles
+    bundles=$(find . -type d -name triage -not -path './.git/*' \
+      -exec find {} -mindepth 1 -maxdepth 1 -type d \; 2>/dev/null || true)
+    if [[ -n "$bundles" ]]; then
+      echo "verify.sh: triage bundles from this failure (see repro.sh inside):" >&2
+      printf '  %s\n' $bundles >&2
+    fi
+  fi
+}
+trap list_triage_bundles EXIT
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
@@ -35,8 +53,21 @@ if command -v python3 >/dev/null; then
     --require-scenario sharded_sim \
     --require-scenario opt_screened \
     --require-scenario live_serving \
+    --require-scenario obs_overhead \
     ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} \
     "$BUILD_DIR"/bench/bench_smoke_out/BENCH_smoke.json
+fi
+
+# Flight-recorder smoke: a short loadgen run with tracing on, then
+# validate both its trace and the one the bench smoke suite wrote
+# (mirrors the CI trace-smoke step; see docs/OBSERVABILITY.md).
+if command -v python3 >/dev/null; then
+  "$BUILD_DIR"/examples/clover_loadgen --hours 0.25 --workers 2 \
+    --trace-out "$BUILD_DIR/trace_smoke.json" \
+    --metrics-out "$BUILD_DIR/metrics_smoke.json"
+  python3 scripts/validate_trace_json.py \
+    "$BUILD_DIR/trace_smoke.json" \
+    "$BUILD_DIR"/bench/bench_smoke_out/TRACE_smoke.json
 fi
 
 # Campaign smoke: the declarative campaign path end to end — spec reader,

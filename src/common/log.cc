@@ -1,8 +1,10 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <iomanip>
 #include <mutex>
 #include <string_view>
 
@@ -10,6 +12,7 @@ namespace clover {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = uninitialized
+std::atomic<LogSinkFn> g_sink{nullptr};
 
 LogLevel ParseLevel(std::string_view s) {
   if (s == "debug") return LogLevel::kDebug;
@@ -36,13 +39,30 @@ std::mutex& EmitMutex() {
   return m;
 }
 
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Default sink: stderr via stdio (unsynchronized with std::cerr by design —
+// the emit lock already serializes lines, and stdio keeps each fputs atomic
+// against other processes sharing the fd, e.g. a test runner).
+void StderrSink(LogLevel /*level*/, const std::string& line) {
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
 }  // namespace
 
 LogLevel GlobalLogLevel() {
   int level = g_level.load(std::memory_order_relaxed);
   if (level < 0) {
-    const char* env = std::getenv("CLOVER_LOG");
-    const LogLevel parsed = env ? ParseLevel(env) : LogLevel::kOff;
+    const char* env = std::getenv("CLOVER_LOG_LEVEL");
+    if (env == nullptr) env = std::getenv("CLOVER_LOG");  // legacy alias
+    // Default to warnings: failure diagnostics (triage bundle paths,
+    // discarded journals) must be visible without opting in.
+    const LogLevel parsed = env ? ParseLevel(env) : LogLevel::kWarn;
     level = static_cast<int>(parsed);
     g_level.store(level, std::memory_order_relaxed);
   }
@@ -53,11 +73,26 @@ void SetGlobalLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void SetLogSink(LogSinkFn sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+double LogUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessEpoch())
+      .count();
+}
+
 namespace internal {
 
 void Emit(LogLevel level, const std::string& message) {
+  std::ostringstream line;
+  line << "[clover " << LevelName(level) << " t=" << std::fixed
+       << std::setprecision(3) << LogUptimeSeconds() << "s] " << message;
+  LogSinkFn sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = &StderrSink;
   std::lock_guard<std::mutex> lock(EmitMutex());
-  std::cerr << "[clover " << LevelName(level) << "] " << message << '\n';
+  sink(level, line.str());
 }
 
 }  // namespace internal

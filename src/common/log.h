@@ -1,8 +1,18 @@
-// Leveled logger for the controller and runtime.
+// Leveled structured logger for the controller and runtime: one shared
+// sink that every module (and the obs layer's warnings) writes through.
 //
-// Logging is off by default (benches print structured tables instead); set
-// the CLOVER_LOG environment variable to debug/info/warn to trace the
-// controller's optimization decisions.
+// Warnings only by default (benches print structured tables; failure
+// diagnostics like triage bundle paths must stay visible); set the
+// CLOVER_LOG_LEVEL environment variable to debug/info to trace the
+// controller's optimization decisions, or to off to silence everything
+// (CLOVER_LOG is accepted as a legacy alias).
+//
+// Lines are structured: a fixed-order `[clover LEVEL t=<uptime>s]` prefix
+// followed by the message, so `grep '\[clover WARN'` and log-shipping
+// regexes stay stable. The sink is process-global and serialized; tests or
+// embedders can intercept every line with SetLogSink (e.g. to assert on
+// warnings, or to tee into a file) — call sites never talk to stderr
+// directly.
 #pragma once
 
 #include <sstream>
@@ -12,9 +22,19 @@ namespace clover {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
 
-// Global threshold, initialized from $CLOVER_LOG on first use.
+// Global threshold, initialized from $CLOVER_LOG_LEVEL (or the legacy
+// $CLOVER_LOG) on first use.
 LogLevel GlobalLogLevel();
 void SetGlobalLogLevel(LogLevel level);
+
+// The shared sink: receives every formatted line (prefix included, no
+// trailing newline) under the emit lock, so implementations need no
+// synchronization of their own. nullptr restores the default stderr sink.
+using LogSinkFn = void (*)(LogLevel level, const std::string& line);
+void SetLogSink(LogSinkFn sink);
+
+// Seconds since the process first touched the logger — the `t=` field.
+double LogUptimeSeconds();
 
 namespace internal {
 void Emit(LogLevel level, const std::string& message);

@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf/perf_model.h"
 
 namespace clover::core {
@@ -92,6 +94,7 @@ std::optional<OptimizationRun> Controller::Step() {
   const double now = sim_->now();
   if (!monitor_.ShouldReoptimize(now)) return std::nullopt;
 
+  CLOVER_TRACE_SCOPE("opt.invocation");
   OptimizationRun run;
   run.invocation = static_cast<int>(history_.size());
   run.start_s = now;
@@ -168,6 +171,15 @@ std::optional<OptimizationRun> Controller::Step() {
   run.end_s = sim_->now();
   total_opt_seconds_ += run.DurationSeconds();
   monitor_.AcknowledgeOptimization(sim_->now());
+
+  CLOVER_TRACE_VSPAN("opt.invocation", run.start_s, run.end_s);
+  CLOVER_OBS_COUNT("opt.invocations", 1);
+  CLOVER_OBS_COUNT("opt.evaluated", run.search.evaluations.size());
+  CLOVER_OBS_COUNT("opt.screened", run.search.screened);
+  CLOVER_OBS_GAUGE("opt.best_f", run.search.best_f);
+  // Control boundary: the invocation (and everything the sim did to reach
+  // it) is complete, so the fold is deterministic here.
+  CLOVER_OBS_SAMPLE(run.end_s);
 
   CLOVER_INFO("invocation " << run.invocation << " @ci=" << run.ci
                             << " evals=" << run.search.evaluations.size()

@@ -522,7 +522,9 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
 }
 
 CampaignSpec LoadCampaignSpec(const std::string& path) {
-  return ParseCampaignSpec(ParseJsonFile(path));
+  CampaignSpec spec = ParseCampaignSpec(ParseJsonFile(path));
+  spec.source_path = path;
+  return spec;
 }
 
 carbon::CarbonTrace MakeCellTrace(const CellSpec& cell) {

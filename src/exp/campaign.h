@@ -108,6 +108,9 @@ struct CampaignSpec {
   sim::FaultProfile fault_profile;     // rates for fault_seed > 0 cells
   std::vector<CellSpec> cells;         // expanded + deduplicated
   int grid_cells = 0;                  // before dedup
+  // Path the spec was loaded from ("" when built in memory). Triage
+  // bundles embed it in the repro command for a failed cell.
+  std::string source_path;
 };
 
 // Parses and expands a campaign document. Throws JsonParseError with

@@ -1,17 +1,23 @@
 #include "exp/runner.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <map>
 #include <memory>
 #include <optional>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "models/zoo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/triage.h"
 
 namespace clover::exp {
 namespace {
@@ -127,8 +133,8 @@ std::optional<CellOutcome> LoadJournal(const std::string& path,
   } catch (const JsonParseError& error) {
     // Torn write from a killed campaign (or hand-edited damage): the cell
     // simply re-runs.
-    std::cerr << "campaign: discarding journal " << path << " ("
-              << error.what() << ")\n";
+    CLOVER_WARN("campaign: discarding journal " << path << " ("
+                << error.what() << ")");
     return std::nullopt;
   }
 }
@@ -140,13 +146,59 @@ std::uint64_t CountCandidates(const core::RunReport& report) {
   return candidates;
 }
 
+// Builds the exact command that re-runs one cell of this campaign. Cells
+// are deterministic per spec + name, so a single-threaded re-run of the
+// whole spec reproduces the failing cell; resume makes it cheap when the
+// journal survived.
+std::string CellReproCommand(const CampaignSpec& spec) {
+  const std::string source =
+      spec.source_path.empty() ? ("<campaign spec '" + spec.name + "'>")
+                               : spec.source_path;
+  return "./build/examples/clover_campaign run " + source + " --threads 1";
+}
+
+// On any cell failure: write a triage bundle naming the cell, its config
+// key-values and the repro command, then rethrow — the campaign still
+// fails, but the artifact makes the red run reproducible by itself.
+[[noreturn]] void TriageCellFailure(const CampaignSpec& spec,
+                                    const CellSpec& cell,
+                                    const std::exception& error) {
+  CLOVER_OBS_COUNT("campaign.cell_failures", 1);
+  obs::TriageContext triage;
+  triage.name = "campaign-" + cell.Name();
+  triage.reason = std::string("campaign cell failed: ") + error.what();
+  triage.repro_command = CellReproCommand(spec);
+  triage.config = {
+      {"campaign", spec.name},
+      {"spec_path", spec.source_path},
+      {"cell", cell.Name()},
+      {"cell_describe", cell.Describe()},
+      {"seed", std::to_string(cell.seed)},
+      {"fault_seed", std::to_string(cell.fault_seed)},
+  };
+  const std::string dir = obs::WriteTriageBundle(triage);
+  if (!dir.empty())
+    CLOVER_WARN("campaign: triage bundle written to " << dir);
+  throw;
+}
+
 // Executes one cell. `harness` is the slot's reusable harness (calibration
 // cache shared across the slot's cells; results are unaffected because
 // calibration is deterministic per setting).
 CellOutcome ExecuteCell(const CampaignSpec& spec, const CellSpec& cell,
                         core::ExperimentHarness* harness) {
+  CLOVER_TRACE_SCOPE("campaign.cell");
+  CLOVER_OBS_COUNT("campaign.cells", 1);
   CellOutcome outcome;
   outcome.cell = cell;
+  // Chaos hook for exercising the triage path end to end (tests, and the
+  // "does a failed cell really emit a usable bundle?" acceptance check):
+  // CLOVER_CAMPAIGN_FAIL_CELL=<cell name> makes exactly that cell throw.
+  if (const char* fail = std::getenv("CLOVER_CAMPAIGN_FAIL_CELL");
+      fail != nullptr && cell.Name() == fail) {
+    throw std::runtime_error("campaign cell '" + cell.Name() +
+                             "' failed by CLOVER_CAMPAIGN_FAIL_CELL");
+  }
   const auto start = std::chrono::steady_clock::now();
   if (cell.mode == CampaignMode::kFleet) {
     const fleet::FleetReport fleet_report =
@@ -361,8 +413,12 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
         harness =
             std::make_unique<core::ExperimentHarness>(&models::DefaultZoo());
       const std::size_t cell_index = todo[index];
-      CellOutcome outcome =
-          ExecuteCell(spec, spec.cells[cell_index], harness.get());
+      CellOutcome outcome;
+      try {
+        outcome = ExecuteCell(spec, spec.cells[cell_index], harness.get());
+      } catch (const std::exception& error) {
+        TriageCellFailure(spec, spec.cells[cell_index], error);
+      }
       if (options.write_files)
         WriteJournal(JournalPath(options.out_dir, outcome.cell), spec.name,
                      fault_fingerprint, outcome);
@@ -370,6 +426,8 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
     });
   }
   result.wall_seconds = SecondsSince(start);
+  // Post-join barrier: every cell's instrumented work is complete here.
+  CLOVER_OBS_SAMPLE(result.wall_seconds);
 
   result.suite.suite = spec.name;
   result.suite.threads = threads;

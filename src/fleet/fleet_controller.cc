@@ -1,6 +1,8 @@
 #include "fleet/fleet_controller.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clover::fleet {
 
@@ -55,6 +57,7 @@ FleetController::FleetController(
 }
 
 void FleetController::Step(double t) {
+  CLOVER_OBS_COUNT("fleet.steps", 1);
   auto step_region = [&](std::size_t i) {
     Region& region = *(*regions_)[i];
     if (t > region.sim().now()) region.sim().AdvanceTo(t);
@@ -67,16 +70,24 @@ void FleetController::Step(double t) {
         region.assigned_qps() > 0.0)
       controllers_[i]->Step();
   };
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(regions_->size(),
-                       [&](int, std::size_t i) { step_region(i); });
-  } else {
-    for (std::size_t i = 0; i < regions_->size(); ++i) step_region(i);
+  {
+    // Phase 1: regions advance independently (possibly in parallel).
+    CLOVER_TRACE_SCOPE("fleet.step_regions");
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(regions_->size(),
+                         [&](int, std::size_t i) { step_region(i); });
+    } else {
+      for (std::size_t i = 0; i < regions_->size(); ++i) step_region(i);
+    }
   }
+  // Phase 2 (serial fold) — also the fleet's deterministic barrier, so
+  // fold the metric registry here.
   Rebalance(t);
+  CLOVER_OBS_SAMPLE(t);
 }
 
 void FleetController::Rebalance(double t) {
+  CLOVER_TRACE_SCOPE("fleet.rebalance");
   std::vector<RegionSnapshot> snapshots;
   snapshots.reserve(regions_->size());
   for (const auto& region : *regions_) snapshots.push_back(region->Snapshot(t));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace clover::net {
 
@@ -31,16 +32,20 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
 AdmissionVerdict AdmissionController::Offer(double now,
                                             std::size_t queue_depth) {
   ++counters_.offered;
+  CLOVER_OBS_COUNT("net.admission.offered", 1);
   if (options_.max_queue_depth > 0 &&
       queue_depth >= options_.max_queue_depth) {
     ++counters_.shed_queue;
+    CLOVER_OBS_COUNT("net.admission.shed_queue", 1);
     return AdmissionVerdict::kShedQueue;
   }
   if (!bucket_.TryTake(now)) {
     ++counters_.shed_rate;
+    CLOVER_OBS_COUNT("net.admission.shed_rate", 1);
     return AdmissionVerdict::kShedRate;
   }
   ++counters_.admitted;
+  CLOVER_OBS_COUNT("net.admission.admitted", 1);
   return AdmissionVerdict::kAdmit;
 }
 

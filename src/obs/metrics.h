@@ -1,0 +1,308 @@
+// Lock-free metrics registry: named counters, gauges and histograms that
+// hot paths update with ~one relaxed atomic store, folded into timestamped
+// snapshot rows at control/epoch boundaries.
+//
+// The accumulator design is the `latency_store` recipe generalized to
+// arbitrary named metrics:
+//
+//   * Sharded single-writer accumulation. Each metric owns a small fixed
+//     array of cache-line-aligned shards; a thread writes the shard picked
+//     by its registration-order index (mod kNumShards). With fewer writer
+//     threads than shards every shard has one writer and updates are
+//     wait-free relaxed fetch_adds on unshared cache lines. With more
+//     threads than shards two writers may share a shard — still correct
+//     (fetch_add is atomic), merely contended.
+//
+//   * Order-insensitive folds. Counters fold by integer sum; histograms
+//     keep atomic copies of LogHistogramQuantile's bin array (same
+//     geometry via BinIndex/BinRepresentative) so the fold is bit-identical
+//     to a serial histogram fed the same multiset of observations,
+//     whatever the thread schedule. That property is what lets the ctest
+//     bit-identity gates stay green with instrumentation enabled.
+//
+//   * Gauges store the raw double bits in a per-shard atomic word
+//     (last-write-wins per shard) and fold by summing shard values in
+//     fixed shard order; for the intended single-logical-writer gauges the
+//     fold equals the last written value exactly (unwritten shards hold
+//     the bit pattern of +0.0).
+//
+// Enablement is two-level. Compile-time: building with -DCLOVER_OBS=OFF
+// defines CLOVER_OBS_BUILD=0 and every CLOVER_OBS_* macro below expands to
+// a no-op that does not evaluate its arguments — instrumented hot paths pay
+// literally nothing. Runtime (default off, set CLOVER_OBS=1 or call
+// SetEnabled): each macro guards on one relaxed atomic bool load before
+// touching its metric, so a compiled-in but disabled run pays one
+// well-predicted branch per site.
+//
+// Determinism contract: folds that race live writers see each shard at
+// some valid point but not one instant's cut, exactly like
+// ShardedLatencyStore. Registry::Sample is therefore only called at
+// barriers (epoch merges, post-ParallelFor joins, control steps) where the
+// instrumented work completed so far is a deterministic function of the
+// seed — making the snapshot rows themselves reproducible across thread
+// counts (tests/obs_test.cc pins this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/quantile.h"
+
+namespace clover::obs {
+
+// Runtime master switch for metric recording (and the CLOVER_OBS_* macro
+// guards). First call consults $CLOVER_OBS ("1"/"on" enables); SetEnabled
+// overrides. Reading is one relaxed atomic load.
+bool Enabled();
+void SetEnabled(bool on);
+
+namespace internal {
+// Stable per-thread shard index: assigned from a process-wide counter on
+// the thread's first metric write, so each thread keeps hitting the same
+// shard (single-writer in the common case; see file comment).
+std::size_t ShardIndex();
+}  // namespace internal
+
+// Monotonic event counter. Add is wait-free (one relaxed fetch_add).
+class Counter {
+ public:
+  static constexpr std::size_t kNumShards = 16;
+
+  void Add(std::uint64_t n = 1) {
+    shards_[internal::ShardIndex() % kNumShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Fold() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Not safe concurrent with Add; callers reset between measurement
+  // windows with writers quiesced (same contract as ShardedLatencyStore).
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kNumShards> shards_{};
+};
+
+// Last-written sampled value. Set stores the double's bit pattern with one
+// relaxed store; Fold sums shard values in fixed shard order (exact for
+// the intended one-logical-writer gauges, since untouched shards hold
+// +0.0).
+class Gauge {
+ public:
+  static constexpr std::size_t kNumShards = Counter::kNumShards;
+
+  void Set(double value) {
+    shards_[internal::ShardIndex() % kNumShards].bits.store(
+        std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+  }
+
+  double Fold() const {
+    double total = 0.0;
+    for (const Shard& s : shards_) {
+      total += std::bit_cast<double>(s.bits.load(std::memory_order_relaxed));
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.bits.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> bits{0};  // bit pattern of +0.0
+  };
+  std::array<Shard, kNumShards> shards_{};
+};
+
+// Value-distribution accumulator in LogHistogramQuantile's bin geometry.
+// Observe is two relaxed fetch_adds; Fold rebuilds a LogHistogramQuantile
+// bit-identical to a serial one fed the same observations.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumShards = 4;  // 502 bins/shard; keep small
+
+  void Observe(double value) {
+    Shard& s = shards_[internal::ShardIndex() % kNumShards];
+    s.bins[LogHistogramQuantile::BinIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  LogHistogramQuantile Fold() const;
+  std::uint64_t FoldCount() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, LogHistogramQuantile::kNumBins>
+        bins{};
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::array<Shard, kNumShards> shards_{};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// One folded metric at one sample point. `count` is the counter value or
+// histogram observation count; `value` is the gauge value; quantiles are
+// histogram-only (0 otherwise).
+struct SnapshotRow {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// All metrics folded at one timestamp, rows sorted by (name, kind).
+// Counters are cumulative (Prometheus-style): each snapshot reports the
+// total since process start / last ResetForTest, not a delta.
+struct Snapshot {
+  double ts_s = 0.0;
+  std::vector<SnapshotRow> rows;
+};
+
+// Process-wide metric registry. GetX registers on first use and returns a
+// stable pointer (call sites cache it in a function-local static); Sample
+// folds everything into the bounded snapshot log.
+class Registry {
+ public:
+  static Registry& Get();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Folds every registered metric at timestamp `ts_s` (caller's clock —
+  // virtual seconds at sim barriers, wall seconds elsewhere).
+  Snapshot Fold(double ts_s) const;
+
+  // Fold + append to the snapshot log. The log is bounded: beyond
+  // kMaxSnapshots the oldest rows are dropped (flight-recorder semantics)
+  // and the drop count is reported in the JSON dump.
+  void Sample(double ts_s);
+
+  std::vector<Snapshot> Snapshots() const;
+  std::uint64_t SnapshotsDropped() const;
+
+  // Writes the snapshot log plus a final fold as clover-metrics-v1 JSON.
+  // Returns false (and logs a warning) on I/O failure; never throws.
+  bool WriteMetricsJson(const std::string& path) const;
+
+  // Zeroes every registered metric and clears the snapshot log. NOT safe
+  // concurrent with writers; tests only.
+  void ResetForTest();
+
+  static constexpr std::size_t kMaxSnapshots = 4096;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;  // guards the maps + snapshot log, never Add/Set
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<Snapshot> snapshots_;
+  std::uint64_t snapshots_dropped_ = 0;
+};
+
+const char* MetricKindName(MetricKind kind);
+
+}  // namespace clover::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. CLOVER_OBS_BUILD is set by CMake (option
+// CLOVER_OBS, default ON); when 0 the macros expand to no-ops that do not
+// evaluate their arguments. When compiled in, each site pays one relaxed
+// atomic bool load while disabled, and one function-local-static handle
+// lookup plus a relaxed fetch_add/store while enabled.
+// ---------------------------------------------------------------------------
+#ifndef CLOVER_OBS_BUILD
+#define CLOVER_OBS_BUILD 1
+#endif
+
+#if CLOVER_OBS_BUILD
+
+#define CLOVER_OBS_COUNT(name_literal, n)                        \
+  do {                                                           \
+    if (::clover::obs::Enabled()) {                              \
+      static ::clover::obs::Counter* const clover_obs_counter_ = \
+          ::clover::obs::Registry::Get().GetCounter(name_literal); \
+      clover_obs_counter_->Add(                                  \
+          static_cast<std::uint64_t>(n));                        \
+    }                                                            \
+  } while (0)
+
+#define CLOVER_OBS_GAUGE(name_literal, v)                      \
+  do {                                                         \
+    if (::clover::obs::Enabled()) {                            \
+      static ::clover::obs::Gauge* const clover_obs_gauge_ =   \
+          ::clover::obs::Registry::Get().GetGauge(name_literal); \
+      clover_obs_gauge_->Set(static_cast<double>(v));          \
+    }                                                          \
+  } while (0)
+
+#define CLOVER_OBS_OBSERVE(name_literal, v)                            \
+  do {                                                                 \
+    if (::clover::obs::Enabled()) {                                    \
+      static ::clover::obs::Histogram* const clover_obs_histogram_ =   \
+          ::clover::obs::Registry::Get().GetHistogram(name_literal);   \
+      clover_obs_histogram_->Observe(static_cast<double>(v));          \
+    }                                                                  \
+  } while (0)
+
+// Fold all metrics into the snapshot log at timestamp `ts` (seconds).
+// Call only at barriers — see the determinism contract above.
+#define CLOVER_OBS_SAMPLE(ts)                           \
+  do {                                                  \
+    if (::clover::obs::Enabled()) {                     \
+      ::clover::obs::Registry::Get().Sample(            \
+          static_cast<double>(ts));                     \
+    }                                                   \
+  } while (0)
+
+#else  // !CLOVER_OBS_BUILD
+
+// sizeof keeps the operands syntactically checked but unevaluated, so an
+// OFF build neither runs instrumentation nor warns about unused values.
+#define CLOVER_OBS_COUNT(name_literal, n) \
+  do {                                    \
+    (void)sizeof(n);                      \
+  } while (0)
+#define CLOVER_OBS_GAUGE(name_literal, v) \
+  do {                                    \
+    (void)sizeof(v);                      \
+  } while (0)
+#define CLOVER_OBS_OBSERVE(name_literal, v) \
+  do {                                      \
+    (void)sizeof(v);                        \
+  } while (0)
+#define CLOVER_OBS_SAMPLE(ts) \
+  do {                        \
+    (void)sizeof(ts);         \
+  } while (0)
+
+#endif  // CLOVER_OBS_BUILD

@@ -1,0 +1,275 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace clover::obs {
+namespace {
+
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ValidPhase(char phase) {
+  return phase == 'B' || phase == 'E' || phase == 'I' || phase == 'X';
+}
+
+}  // namespace
+
+Tracer& Tracer::Get() {
+  // Leaked for the same reason as the metrics Registry: TLS-cached buffer
+  // pointers and late-exiting threads must never observe a destroyed
+  // tracer.
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+void Tracer::Enable(std::size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (enabled_.load(std::memory_order_relaxed)) return;
+  capacity_ = std::max<std::size_t>(ring_capacity, 8);
+  // The wall epoch is set once per tracer lifetime (not per Enable): a
+  // Disable/Enable cycle must keep wall timestamps monotone per thread,
+  // or the dump sanitizer would discard everything after the re-enable.
+  if (epoch_steady_ns_ == 0) epoch_steady_ns_ = SteadyNowNs();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+double Tracer::WallNow() const {
+  return static_cast<double>(SteadyNowNs() - epoch_steady_ns_) * 1e-9;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  thread_local std::uint64_t t_generation = ~std::uint64_t{0};
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  if (t_buffer == nullptr || t_generation != generation) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(capacity_, next_tid_++));
+    t_buffer = buffers_.back().get();
+    t_generation = generation;
+  }
+  return t_buffer;
+}
+
+void Tracer::Emit(const char* name, char phase, TraceClock clock, double ts_s,
+                  double dur_s) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = BufferForThisThread();
+  const std::uint64_t n = buf->total.load(std::memory_order_relaxed);
+  TraceEvent& slot = buf->ring[n % buf->ring.size()];
+  slot.name = name;
+  slot.phase = phase;
+  slot.clock = clock;
+  slot.ts_s = ts_s;
+  slot.dur_s = dur_s;
+  buf->total.store(n + 1, std::memory_order_release);
+}
+
+namespace {
+
+// One sanitized, emission-ordered slice of a thread's ring.
+struct BufferSlice {
+  int tid = 0;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+void WriteEventJson(JsonWriter* w, const TraceEvent& e, int pid, int tid) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(e.name);
+  w->Key("ph");
+  const char phase_str[2] = {e.phase, '\0'};
+  w->String(phase_str);
+  w->Key("pid");
+  w->Int(pid);
+  w->Key("tid");
+  w->Int(tid);
+  w->Key("ts");
+  w->Number(e.ts_s * 1e6);  // seconds -> trace microseconds
+  if (e.phase == 'X') {
+    w->Key("dur");
+    w->Number(e.dur_s * 1e6);
+  }
+  w->Key("cat");
+  w->String(pid == 0 ? "wall" : "virtual");
+  w->EndObject();
+}
+
+void WriteProcessNameMeta(JsonWriter* w, int pid, const char* name) {
+  w->BeginObject();
+  w->Key("name");
+  w->String("process_name");
+  w->Key("ph");
+  w->String("M");
+  w->Key("pid");
+  w->Int(pid);
+  w->Key("tid");
+  w->Int(0);
+  w->Key("args");
+  w->BeginObject();
+  w->Key("name");
+  w->String(name);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+Tracer::DumpStats Tracer::WriteChromeTrace(const std::string& path) {
+  DumpStats stats;
+
+  // Snapshot the rings under the lock (registration can't move buffers_
+  // while we copy; live writers may still overwrite wrapped slots, which
+  // the per-event validity checks below absorb).
+  std::vector<BufferSlice> slices;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slices.reserve(buffers_.size());
+    for (const auto& buf : buffers_) {
+      BufferSlice slice;
+      slice.tid = buf->tid;
+      const std::uint64_t total = buf->total.load(std::memory_order_acquire);
+      const std::size_t cap = buf->ring.size();
+      const std::uint64_t kept = std::min<std::uint64_t>(total, cap);
+      slice.dropped = total - kept;
+      slice.events.reserve(static_cast<std::size_t>(kept));
+      // Oldest kept event first. When total <= cap that is slot 0; after a
+      // wrap it is slot (total % cap).
+      const std::uint64_t start = total <= cap ? 0 : total % cap;
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        slice.events.push_back(buf->ring[(start + i) % cap]);
+      }
+      slices.push_back(std::move(slice));
+    }
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    CLOVER_WARN("obs: cannot open trace output " << path);
+    return stats;
+  }
+
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  WriteProcessNameMeta(&w, 0, "wall clock");
+  WriteProcessNameMeta(&w, 1, "virtual time (simulated seconds)");
+
+  for (BufferSlice& slice : slices) {
+    stats.dropped += static_cast<std::size_t>(slice.dropped);
+
+    // Wall events: emit B/E pairs only when matched within the kept slice
+    // (an orphan E lost its B to wraparound; an unclosed trailing B has no
+    // E yet). First pass marks which indices survive.
+    std::vector<char> keep(slice.events.size(), 1);
+    std::vector<std::size_t> open_b;
+    for (std::size_t i = 0; i < slice.events.size(); ++i) {
+      const TraceEvent& e = slice.events[i];
+      if (e.name == nullptr || !ValidPhase(e.phase)) {
+        keep[i] = 0;  // torn slot from a racing writer
+        continue;
+      }
+      if (e.clock != TraceClock::kWall) continue;
+      if (e.phase == 'B') {
+        open_b.push_back(i);
+      } else if (e.phase == 'E') {
+        if (open_b.empty()) {
+          keep[i] = 0;  // orphan end
+        } else {
+          open_b.pop_back();
+        }
+      }
+    }
+    for (const std::size_t i : open_b) keep[i] = 0;  // unclosed begins
+
+    // Virtual events whose timeline restarts (a twin/second run) get a
+    // fresh synthetic tid per monotone segment, so ts stays monotone per
+    // (pid, tid) and the tracks render side by side.
+    int virtual_segment = 0;
+    double last_virtual_ts = -1e300;
+    // Wall ts is monotone per thread by construction (steady clock), but a
+    // torn wrapped slot could regress it; drop such events.
+    double last_wall_ts = -1e300;
+
+    for (std::size_t i = 0; i < slice.events.size(); ++i) {
+      if (!keep[i]) {
+        ++stats.skipped;
+        continue;
+      }
+      const TraceEvent& e = slice.events[i];
+      if (e.clock == TraceClock::kWall) {
+        if (e.ts_s < last_wall_ts) {
+          ++stats.skipped;
+          continue;
+        }
+        last_wall_ts = e.ts_s;
+        WriteEventJson(&w, e, /*pid=*/0, slice.tid);
+      } else {
+        if (e.ts_s < last_virtual_ts) {
+          ++virtual_segment;
+        }
+        last_virtual_ts = e.ts_s;
+        WriteEventJson(&w, e, /*pid=*/1,
+                       slice.tid + 1000 * virtual_segment);
+      }
+      ++stats.written;
+    }
+  }
+
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("otherData");
+  w.BeginObject();
+  w.Key("schema");
+  w.String("clover-trace-v1");
+  w.Key("dropped_events");
+  w.UInt(stats.dropped);
+  w.Key("skipped_events");
+  w.UInt(stats.skipped);
+  w.EndObject();
+  w.EndObject();
+  out.flush();
+  if (!out) {
+    CLOVER_WARN("obs: write failed for trace output " << path);
+    stats.written = 0;
+  }
+  return stats;
+}
+
+void Tracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  buffers_.clear();
+  next_tid_ = 0;
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  Tracer& tracer = Tracer::Get();
+  active_ = tracer.enabled();
+  if (active_) {
+    tracer.Emit(name_, 'B', TraceClock::kWall, tracer.WallNow());
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (active_) {
+    Tracer& tracer = Tracer::Get();
+    tracer.Emit(name_, 'E', TraceClock::kWall, tracer.WallNow());
+  }
+}
+
+}  // namespace clover::obs

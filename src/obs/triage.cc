@@ -1,0 +1,204 @@
+#include "obs/triage.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// environ is POSIX but not declared by any standard header.
+extern char** environ;  // NOLINT
+
+namespace clover::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string SanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "unnamed";
+  return out;
+}
+
+fs::path TriageRoot() {
+  if (const char* env = std::getenv("CLOVER_TRIAGE_DIR"); env && *env) {
+    return fs::path(env);
+  }
+  return fs::path("triage");
+}
+
+// CLOVER_* environment variables are the knobs that change behavior
+// (log level, obs enablement, proptest seeds, campaign chaos hooks) —
+// exactly what a reproducer needs to copy.
+std::vector<std::pair<std::string, std::string>> CloverEnvironment() {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const std::string_view kv(*entry);
+    if (kv.rfind("CLOVER_", 0) != 0) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) continue;
+    out.emplace_back(std::string(kv.substr(0, eq)),
+                     std::string(kv.substr(eq + 1)));
+  }
+  return out;
+}
+
+void WriteEnvFingerprint(JsonWriter* w) {
+  w->BeginObject();
+  w->Key("compiler");
+#if defined(__clang__)
+  w->String(std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  w->String(std::string("gcc ") + __VERSION__);
+#else
+  w->String("unknown");
+#endif
+  w->Key("build_type");
+#ifdef NDEBUG
+  w->String("release");
+#else
+  w->String("debug");
+#endif
+  w->Key("pointer_bits");
+  w->Int(static_cast<std::int64_t>(sizeof(void*) * 8));
+  w->Key("obs_compiled_in");
+  w->Bool(CLOVER_OBS_BUILD != 0);
+
+  char hostname[256] = {};
+  if (gethostname(hostname, sizeof(hostname) - 1) == 0) {
+    w->Key("hostname");
+    w->String(hostname);
+  }
+  std::error_code ec;
+  const fs::path cwd = fs::current_path(ec);
+  if (!ec) {
+    w->Key("cwd");
+    w->String(cwd.string());
+  }
+
+  w->Key("clover_env");
+  w->BeginObject();
+  for (const auto& [key, value] : CloverEnvironment()) {
+    w->Key(key);
+    w->String(value);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+bool WriteBundleJson(const fs::path& path, const TriageContext& context) {
+  std::ofstream out(path);
+  if (!out) return false;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("clover-triage-v1");
+  w.Key("name");
+  w.String(context.name);
+  w.Key("reason");
+  w.String(context.reason);
+  w.Key("repro_command");
+  w.String(context.repro_command);
+  w.Key("created_unix_s");
+  w.Int(std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  w.Key("config");
+  w.BeginObject();
+  for (const auto& [key, value] : context.config) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+  w.Key("env");
+  WriteEnvFingerprint(&w);
+  w.EndObject();
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool WriteReproScript(const fs::path& path, const TriageContext& context) {
+  {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "#!/bin/sh\n"
+        << "# Reproduces: " << context.reason << "\n"
+        << "# Run from the repository root.\n"
+        << "set -x\n"
+        << "exec " << context.repro_command << "\n";
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  fs::permissions(path,
+                  fs::perms::owner_all | fs::perms::group_read |
+                      fs::perms::group_exec | fs::perms::others_read |
+                      fs::perms::others_exec,
+                  ec);
+  return true;  // chmod failure is cosmetic
+}
+
+}  // namespace
+
+std::string WriteTriageBundle(const TriageContext& context) {
+  try {
+    const fs::path root = TriageRoot();
+    std::error_code ec;
+    fs::create_directories(root, ec);
+
+    const std::string base = SanitizeName(context.name);
+    fs::path dir = root / base;
+    for (int suffix = 2; fs::exists(dir, ec) && suffix < 100; ++suffix) {
+      dir = root / (base + "-" + std::to_string(suffix));
+    }
+    fs::create_directories(dir, ec);
+    if (ec) {
+      CLOVER_WARN("triage: cannot create bundle dir " << dir.string() << ": "
+                                                      << ec.message());
+      return "";
+    }
+
+    if (!WriteBundleJson(dir / "bundle.json", context)) {
+      CLOVER_WARN("triage: failed writing bundle.json under "
+                  << dir.string());
+      return "";
+    }
+    WriteReproScript(dir / "repro.sh", context);
+    Registry::Get().WriteMetricsJson((dir / "metrics.json").string());
+    Tracer::Get().WriteChromeTrace((dir / "trace_tail.json").string());
+    if (!context.details.empty()) {
+      std::ofstream details(dir / "details.txt");
+      details << context.details;
+      if (!context.details.empty() && context.details.back() != '\n') {
+        details << '\n';
+      }
+    }
+
+    CLOVER_WARN("triage: wrote bundle " << dir.string() << " ("
+                                        << context.reason << ")");
+    return dir.string();
+  } catch (const std::exception& e) {
+    CLOVER_WARN("triage: bundle write failed: " << e.what());
+    return "";
+  } catch (...) {
+    return "";
+  }
+}
+
+}  // namespace clover::obs

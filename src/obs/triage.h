@@ -1,0 +1,47 @@
+// Self-diagnosing failure artifacts: when a bench determinism gate, a
+// campaign cell, or a differential-test tolerance breaks, the harness that
+// caught it writes a `triage/<name>/` bundle containing everything needed
+// to reproduce the failure from the artifact alone (ROADMAP "per-run
+// triage bundles"):
+//
+//   triage/<name>/
+//     bundle.json       clover-triage-v1: reason, config/seed key-values,
+//                       env fingerprint (compiler, build type, CLOVER_*
+//                       environment, cwd), exact repro command
+//     metrics.json      the metrics Registry's snapshot log + final fold
+//     trace_tail.json   the tracer's ring tails (Chrome trace JSON) —
+//                       the last thing every thread did before the failure
+//     repro.sh          executable one-liner wrapping the repro command
+//     details.txt       free-form context (journal tails, diffs), if any
+//
+// The bundle root is ./triage by default, overridable with
+// $CLOVER_TRIAGE_DIR (CI sets it so `if: failure()` can upload one
+// directory). Name collisions get a numeric suffix. Writing is strictly
+// best-effort: WriteTriageBundle never throws — a triage path that could
+// itself crash the harness would be worse than no triage at all.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace clover::obs {
+
+struct TriageContext {
+  // Bundle directory name; sanitized to [A-Za-z0-9._-].
+  std::string name;
+  // One-line description of what failed.
+  std::string reason;
+  // Exact command that reproduces the failure from the repo root.
+  std::string repro_command;
+  // Config/seed key-values identifying the failing run (ordered).
+  std::vector<std::pair<std::string, std::string>> config;
+  // Optional free-form context (journal tail, expected-vs-actual diff).
+  std::string details;
+};
+
+// Writes the bundle; returns its directory path, or "" on any failure
+// (logged at warn level). Never throws.
+std::string WriteTriageBundle(const TriageContext& context);
+
+}  // namespace clover::obs

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clover::opt {
 namespace {
@@ -64,6 +66,8 @@ std::vector<std::size_t> ScreenCandidates(
     Evaluator* surrogate, const std::vector<graph::ConfigGraph>& pool,
     const ObjectiveParams& params, double ci, std::size_t keep) {
   CLOVER_CHECK(surrogate != nullptr);
+  CLOVER_TRACE_SCOPE("opt.screen");
+  CLOVER_OBS_COUNT("opt.screen.pool", pool.size());
   if (pool.size() <= keep) {
     std::vector<std::size_t> all(pool.size());
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
@@ -296,7 +300,12 @@ SearchResult SimulatedAnnealing::Run(
       proposals = std::move(kept);
     }
 
-    const std::vector<EvalOutcome> outcomes = batch->EvaluateBatch(proposals);
+    std::vector<EvalOutcome> outcomes;
+    {
+      CLOVER_TRACE_SCOPE("opt.simulate_batch");
+      outcomes = batch->EvaluateBatch(proposals);
+    }
+    CLOVER_OBS_COUNT("opt.simulated", proposals.size());
     for (std::size_t i = 0; i < proposals.size() && !stopped(); ++i)
       fold_proposal(proposals[i], outcomes[i]);
   }

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "graph/neighbors.h"
 #include "perf/perf_model.h"
 
@@ -133,7 +135,12 @@ SearchResult RandomSearch::Run(const graph::ConfigGraph& start,
         kept.push_back(std::move(candidates[index]));
       candidates = std::move(kept);
     }
-    const std::vector<EvalOutcome> outcomes = batch->EvaluateBatch(candidates);
+    std::vector<EvalOutcome> outcomes;
+    {
+      CLOVER_TRACE_SCOPE("opt.simulate_batch");
+      outcomes = batch->EvaluateBatch(candidates);
+    }
+    CLOVER_OBS_COUNT("opt.simulated", candidates.size());
     for (int i = 0; i < round && !stopped(); ++i) {
       const bool improved = fold(candidates[static_cast<std::size_t>(i)],
                                  outcomes[static_cast<std::size_t>(i)],

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clover::serving {
 namespace {
@@ -119,6 +121,8 @@ void LiveServer::FlushCurrentBatchLocked() {
             });
   current_.ticket = next_ticket_++;
   batches_flushed_.fetch_add(1, std::memory_order_relaxed);
+  CLOVER_OBS_COUNT("serving.batches_flushed", 1);
+  CLOVER_OBS_OBSERVE("serving.batch_fill", current_.items.size());
   batched_requests_.fetch_add(current_.items.size(),
                               std::memory_order_relaxed);
   batches_.push_back(std::move(current_));
@@ -131,7 +135,10 @@ void LiveServer::IngestLoop() {
     // A pending partial batch turns the wait into a spin bounded by the
     // flush deadline (sub-millisecond, below epoll_wait resolution).
     const int timeout_ms = current_.items.empty() && !stopping ? 2 : 0;
-    epoll_->Poll(timeout_ms);
+    {
+      CLOVER_TRACE_SCOPE("serving.ingest_poll");
+      epoll_->Poll(timeout_ms);
+    }
 
     for (auto& [conn_id, buffer] : shed_out_) {
       if (!buffer.empty()) epoll_->Send(conn_id, buffer.data(), buffer.size());
@@ -189,6 +196,7 @@ void LiveServer::WorkerLoop(std::size_t worker_index) {
     std::vector<ItemOutcome> outcomes;
     outcomes.reserve(batch.items.size());
     {
+      CLOVER_TRACE_SCOPE("serving.ticket_wait");
       std::unique_lock<std::mutex> lock(batch_mu_);
       ticket_cv_.wait(lock, [&] { return next_to_execute_ == batch.ticket; });
     }
@@ -196,6 +204,7 @@ void LiveServer::WorkerLoop(std::size_t worker_index) {
       if (hook_ != nullptr && batch.beacon_ts_s > 0.0)
         hook_->OnVirtualAdvance(batch.beacon_ts_s, &executor_);
     } else {
+      CLOVER_TRACE_SCOPE("serving.execute");
       for (const BatchItem& item : batch.items) {
         if (hook_ != nullptr)
           hook_->OnVirtualAdvance(item.virtual_ts_s, &executor_);
@@ -209,6 +218,7 @@ void LiveServer::WorkerLoop(std::size_t worker_index) {
     }
 
     if (outcomes.empty()) continue;
+    CLOVER_TRACE_SCOPE("serving.respond");
     responses.clear();
     for (const ItemOutcome& entry : outcomes) {
       latency_store_.Record(worker_index, entry.outcome.latency_virtual_ms,
@@ -234,6 +244,7 @@ void LiveServer::WorkerLoop(std::size_t worker_index) {
     }
     for (auto& [conn_id, bytes] : responses)
       epoll_->Send(conn_id, bytes.data(), bytes.size());
+    CLOVER_OBS_COUNT("serving.responses_ok", outcomes.size());
     inflight_.fetch_sub(outcomes.size(), std::memory_order_relaxed);
   }
 }

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "perf/perf_model.h"
 #include "power/power_model.h"
 
@@ -253,6 +254,12 @@ void ClusterSim::CloseWindow() {
   windows_.push_back(record);
   window_acc_.Reset();
   window_start_ = window_end;
+  // Window close is the sim's own boundary (per-event counters would blow
+  // the enabled-but-idle overhead budget; a window covers ~1e5 events).
+  CLOVER_OBS_COUNT("sim.windows_closed", 1);
+  CLOVER_OBS_COUNT("sim.window_arrivals", record.arrivals);
+  CLOVER_OBS_COUNT("sim.window_completions", record.completions);
+  CLOVER_OBS_OBSERVE("sim.window_p95_ms", record.p95_ms);
 }
 
 void ClusterSim::HandleArrival(double t) {

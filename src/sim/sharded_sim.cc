@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace clover::sim {
 
@@ -66,16 +68,28 @@ void ShardedClusterSim::AdvanceTo(double t, ThreadPool* pool) {
     // (never k * window) so the barrier instants are bit-identical to the
     // window edges each lane's own clock produces.
     const double target = std::min(t, epoch_end_);
-    if (pool != nullptr && pool->num_threads() > 1 && lanes_.size() > 1) {
-      pool->ParallelFor(lanes_.size(), [&](int, std::size_t lane) {
-        lanes_[lane]->AdvanceTo(target);
-      });
-    } else {
-      for (auto& lane : lanes_) lane->AdvanceTo(target);
+    const double epoch_start = now_;
+    {
+      CLOVER_TRACE_SCOPE("sim.sharded.epoch");
+      if (pool != nullptr && pool->num_threads() > 1 && lanes_.size() > 1) {
+        pool->ParallelFor(lanes_.size(), [&](int, std::size_t lane) {
+          lanes_[lane]->AdvanceTo(target);
+        });
+      } else {
+        for (auto& lane : lanes_) lane->AdvanceTo(target);
+      }
     }
     now_ = target;
+    CLOVER_TRACE_VSPAN("sim.epoch", epoch_start, target);
     if (target < epoch_end_) return;  // t inside the current epoch
-    MergeClosedWindows();
+    {
+      CLOVER_TRACE_SCOPE("sim.sharded.merge");
+      MergeClosedWindows();
+    }
+    CLOVER_OBS_COUNT("sim.sharded.epochs", 1);
+    // Epoch barriers are exactly where folds are deterministic: all lanes
+    // have reached `target` and the merge ran serially.
+    CLOVER_OBS_SAMPLE(now_);
     epoch_end_ += options_.base.window_seconds;
     if (now_ >= t) return;
   }
@@ -133,6 +147,7 @@ void ShardedClusterSim::MergeClosedWindows() {
             : 0.0;
     merged.ci = merged.energy_j > 0.0 ? ci_energy / merged.energy_j : 0.0;
     windows_.push_back(merged);
+    CLOVER_OBS_COUNT("sim.sharded.windows_merged", 1);
   }
 }
 

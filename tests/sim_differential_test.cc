@@ -34,6 +34,7 @@
 #include "sim/analytic.h"
 #include "sim/cluster_sim.h"
 #include "testing/proptest.h"
+#include "testing/triage_gtest.h"
 
 namespace clover::sim {
 namespace {
@@ -130,6 +131,14 @@ void ExpectWithinTolerance(int servers, double rho,
   EXPECT_NEAR(measured.mean_sojourn_s, oracle.mean_sojourn_s,
               relative_band * oracle.mean_sojourn_s)
       << where;
+
+  // Any tolerance breach above ships a triage bundle for CI to upload.
+  testing::TriageOnGtestFailure(
+      "sim_differential_test", "differential-mmc",
+      "simulator drifted outside the M/M/c oracle tolerance at " + where,
+      {{"servers", std::to_string(servers)},
+       {"rho", std::to_string(rho)},
+       {"relative_band", std::to_string(relative_band)}});
 }
 
 TEST(SimDifferential, MatchesMmcOracleAcrossTheGrid) {

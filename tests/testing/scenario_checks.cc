@@ -8,6 +8,7 @@
 
 #include "testing/golden.h"
 #include "testing/scenario.h"
+#include "testing/triage_gtest.h"
 
 namespace clover::testing {
 namespace {
@@ -85,6 +86,13 @@ void CheckScenarioInvariants(const Scenario& scenario,
     EXPECT_LE(run.clover.AccuracyLossPctVs(run.base),
               *scenario.accuracy_limit_pct + 0.5);
   }
+
+  TriageOnGtestFailure(
+      "scenario_matrix_test", "scenario-" + scenario.name,
+      "scenario invariant breach: " + scenario.name,
+      {{"scenario", scenario.name},
+       {"app", std::string(models::ApplicationName(scenario.app))},
+       {"seed", std::to_string(scenario.seed)}});
 }
 
 void CheckFleetScenarioInvariants(const FleetScenario& scenario,
@@ -122,6 +130,12 @@ void CheckFleetScenarioInvariants(const FleetScenario& scenario,
   // The spatial policy's carbon envelope vs the operator baseline.
   EXPECT_GE(run.greedy.fleet.CarbonSavePctVs(run.static_split.fleet),
             scenario.min_greedy_save_pct);
+
+  TriageOnGtestFailure(
+      "scenario_matrix_test", "fleet-scenario-" + scenario.name,
+      "fleet scenario invariant breach: " + scenario.name,
+      {{"scenario", scenario.name},
+       {"seed", std::to_string(scenario.config.seed)}});
 }
 
 }  // namespace clover::testing

@@ -1,0 +1,49 @@
+// Triage-on-failure hook for gtest suites: call at the end of a check that
+// guards a documented tolerance or invariant, and if any EXPECT in the
+// current test has already failed, a self-contained triage bundle
+// (obs/triage.h — config, metrics, trace tail, exact repro command) is
+// written for CI's `if: failure()` artifact upload. No-op on green tests,
+// so sprinkling it costs nothing.
+//
+// Header-only and gtest-dependent by design: it lives with the other
+// gtest-side scenario checks, not in clover::obs (which stays usable from
+// non-test binaries).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/triage.h"
+
+namespace clover::testing {
+
+// Writes a triage bundle iff the current gtest has a recorded failure.
+// `binary` is the test executable's name under build/tests/ (the caller
+// knows it; gtest does not expose argv[0] portably) — the repro command
+// re-runs exactly the failing test via --gtest_filter. Returns the bundle
+// directory, or "" when the test is green or the write failed.
+inline std::string TriageOnGtestFailure(
+    const std::string& binary, const std::string& name,
+    const std::string& reason,
+    std::vector<std::pair<std::string, std::string>> config = {}) {
+  if (!::testing::Test::HasFailure()) return "";
+  obs::TriageContext context;
+  context.name = name;
+  context.reason = reason;
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string filter =
+      info != nullptr
+          ? std::string(info->test_suite_name()) + "." + info->name()
+          : "*";
+  context.repro_command =
+      "./build/tests/" + binary + " --gtest_filter='" + filter + "'";
+  context.config = std::move(config);
+  context.config.emplace_back("gtest", filter);
+  return obs::WriteTriageBundle(context);
+}
+
+}  // namespace clover::testing
