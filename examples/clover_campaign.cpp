@@ -8,15 +8,30 @@
 //       [--threads N]                   execution shards (default: spec)
 //       [--out DIR]                     output root (default campaign_out)
 //       [--resume]                      reuse <out>/runs/ journals
+//       [--workers N]                   fork N cooperating worker
+//                                       processes (claim protocol; the
+//                                       fold is byte-identical at any N)
+//       [--claim-ttl S]                 heartbeat staleness bound for
+//                                       claim stealing (default 30)
 //       [--trace-out F]                 Chrome trace dump (enables obs)
 //       [--metrics-out F]               metrics snapshot dump (enables obs)
+//   clover_campaign worker FILE         join an in-progress campaign from
+//       [--out DIR] [--claim-ttl S]     another shell/host sharing the
+//                                       same --out directory
 //   clover_campaign resume FILE ...     = run --resume
 //
 // `run` writes <out>/runs/<cell>.json as cells finish and folds everything
 // into <out>/CAMPAIGN_<name>.json — a clover-bench-v1 document (validated
 // by scripts/validate_bench_json.py, same as every BENCH_*.json) plus a
-// "campaign" summary block. Exit status: 0 on success, 1 on any spec or
-// execution failure, 2 on usage errors.
+// "campaign" summary block. With --workers (or via `worker`) execution
+// goes through the multi-process claim/journal/fold protocol of
+// exp/worker.h (specified in docs/CAMPAIGNS.md): the consolidated file is
+// then byte-identical regardless of worker count, crashes, or which
+// worker folds. Exit status: 0 on success, 1 on any spec or execution
+// failure, 2 on usage errors.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
@@ -27,6 +42,7 @@
 #include "common/table.h"
 #include "exp/campaign.h"
 #include "exp/runner.h"
+#include "exp/worker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -36,12 +52,16 @@ using clover::exp::CampaignMode;
 using clover::exp::CampaignOptions;
 using clover::exp::CampaignResult;
 using clover::exp::CampaignSpec;
+using clover::exp::WorkerOptions;
 
 int Usage() {
   std::cerr << "usage: clover_campaign list [DIR]\n"
                "       clover_campaign validate FILE...\n"
                "       clover_campaign run FILE [--threads N] [--out DIR] "
-               "[--resume] [--trace-out F] [--metrics-out F]\n"
+               "[--resume] [--workers N] [--claim-ttl S] "
+               "[--trace-out F] [--metrics-out F]\n"
+               "       clover_campaign worker FILE [--out DIR] "
+               "[--claim-ttl S]\n"
                "       clover_campaign resume FILE [--threads N] [--out "
                "DIR]\n";
   return 2;
@@ -135,6 +155,76 @@ int RunCampaignFile(const std::string& path, const CampaignOptions& options,
   }
 }
 
+// One worker over a shared --out directory: claims cells, executes, folds
+// when everything is journaled. Used by the `worker` subcommand and by
+// each process of `run --workers N`.
+int RunWorkerProcess(const CampaignSpec& spec, const WorkerOptions& options) {
+  try {
+    const CampaignResult result =
+        clover::exp::RunCampaignWorker(spec, options);
+    std::cout << (options.print_tables ? "\n" : "")
+              << "worker executed " << result.executed_cells << " of "
+              << result.cells.size() << " cells in "
+              << clover::TextTable::Num(result.wall_seconds, 1)
+              << " s\nwrote " << result.consolidated_path << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "FAIL worker (" << spec.name << "): " << error.what()
+              << "\n";
+    return 1;
+  }
+}
+
+// `run --workers N`: fork N-1 children and participate as the Nth worker.
+// Every worker folds once it observes all cells journaled; the folds are
+// byte-identical and published atomically, so concurrent folders are fine.
+int RunCampaignWorkers(const std::string& path, const WorkerOptions& options,
+                       int workers) {
+  CampaignSpec spec;
+  try {
+    spec = clover::exp::LoadCampaignSpec(path);
+  } catch (const std::exception& error) {
+    std::cerr << "FAIL " << path << ": " << error.what() << "\n";
+    return 1;
+  }
+  std::cout << "==== campaign " << spec.name << " ====\n"
+            << spec.cells.size() << " unique cells ("
+            << spec.grid_cells - static_cast<int>(spec.cells.size())
+            << " duplicates removed) | " << workers
+            << " worker process(es) | claim TTL "
+            << clover::TextTable::Num(options.claim_ttl_s, 1) << " s | "
+            << options.out_dir << "\n\n";
+  std::cout.flush();  // forked children inherit stdio buffers
+
+  std::vector<pid_t> children;
+  for (int w = 1; w < workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "clover_campaign: fork failed\n";
+      break;  // run with the workers we have; correctness is unaffected
+    }
+    if (pid == 0) {
+      WorkerOptions child = options;
+      child.print_tables = false;
+      const int status = RunWorkerProcess(spec, child);
+      std::cout.flush();
+      std::cerr.flush();
+      ::_exit(status);
+    }
+    children.push_back(pid);
+  }
+
+  int status = RunWorkerProcess(spec, options);
+  for (const pid_t pid : children) {
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, 0) < 0 || !WIFEXITED(wstatus) ||
+        WEXITSTATUS(wstatus) != 0) {
+      status = 1;
+    }
+  }
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,10 +242,12 @@ int main(int argc, char** argv) {
     return ValidateCampaigns(paths);
   }
 
-  if (command == "run" || command == "resume") {
+  if (command == "run" || command == "resume" || command == "worker") {
     CampaignOptions options;
     options.print_tables = true;
     options.resume = command == "resume";
+    int workers = 0;  // 0 = classic in-process path
+    double claim_ttl_s = 30.0;
     std::string path;
     std::string trace_out, metrics_out;
     for (int i = 2; i < argc; ++i) {
@@ -176,6 +268,29 @@ int main(int argc, char** argv) {
           options.threads = threads;
         } catch (const std::exception&) {
           std::cerr << "bad value for --threads (want 1..1024)\n";
+          return 2;
+        }
+      } else if (arg == "--workers") {
+        try {
+          std::size_t consumed = 0;
+          const int value = std::stoi(next(), &consumed);
+          CLOVER_CHECK(consumed == std::string(argv[i]).size());
+          CLOVER_CHECK(value >= 1 && value <= 64);
+          workers = value;
+        } catch (const std::exception&) {
+          std::cerr << "bad value for --workers (want 1..64)\n";
+          return 2;
+        }
+      } else if (arg == "--claim-ttl") {
+        try {
+          std::size_t consumed = 0;
+          const double value = std::stod(next(), &consumed);
+          CLOVER_CHECK(consumed == std::string(argv[i]).size());
+          CLOVER_CHECK(value > 0.0 && value <= 3600.0);
+          claim_ttl_s = value;
+        } catch (const std::exception&) {
+          std::cerr << "bad value for --claim-ttl (want seconds in "
+                       "(0, 3600])\n";
           return 2;
         }
       } else if (arg == "--out") {
@@ -203,6 +318,29 @@ int main(int argc, char** argv) {
     // budget and recording never perturbs results (docs/OBSERVABILITY.md).
     clover::obs::SetEnabled(true);
     clover::obs::Tracer::Get().Enable();
+
+    if (command == "worker") {
+      // Join an in-progress campaign: one worker, shared --out directory.
+      WorkerOptions worker_options;
+      worker_options.out_dir = options.out_dir;
+      worker_options.claim_ttl_s = claim_ttl_s;
+      worker_options.print_tables = true;
+      CampaignSpec spec;
+      try {
+        spec = clover::exp::LoadCampaignSpec(path);
+      } catch (const std::exception& error) {
+        std::cerr << "FAIL " << path << ": " << error.what() << "\n";
+        return 1;
+      }
+      return RunWorkerProcess(spec, worker_options);
+    }
+    if (workers > 0) {
+      WorkerOptions worker_options;
+      worker_options.out_dir = options.out_dir;
+      worker_options.claim_ttl_s = claim_ttl_s;
+      worker_options.print_tables = true;
+      return RunCampaignWorkers(path, worker_options, workers);
+    }
     return RunCampaignFile(path, options, trace_out, metrics_out);
   }
 

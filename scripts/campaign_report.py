@@ -1,0 +1,447 @@
+#!/usr/bin/env python3
+"""Render CAMPAIGN_*.json / BENCH_*.json (clover-bench-v1) into one
+self-contained HTML report.
+
+Usage:
+  campaign_report.py [--out report.html] [--title TEXT] FILE [FILE...]
+
+Files carrying a "campaign" summary block (CAMPAIGN_*.json) each get a
+campaign section: grouped bar charts per scheme x app for total carbon,
+weighted accuracy, and p95 latency — with min..max whiskers when a
+scheme x app group spans several seeds — plus a vs-BASE delta table
+(carbon saved %, accuracy loss %, p95 normalized). Plain BENCH_*.json
+files form the bench trajectory section: line charts of throughput per
+scenario across the files in the order given (pass oldest first).
+
+The output is a single HTML file with inline SVG: no JavaScript, no
+external assets, safe to attach as a CI artifact and open anywhere.
+Every chart has an equivalent data table (the <details> block beneath
+it), so nothing is readable only through color. Stdlib only.
+"""
+
+import argparse
+import html
+import json
+import math
+import os
+import sys
+
+# Categorical palette (fixed slot order, assigned by entity, never cycled)
+# validated for CVD separation and lightness band on the light surface.
+PALETTE = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+           "#e87ba4", "#008300", "#4a3aa7", "#e34948"]
+SURFACE = "#fcfcfb"
+INK = "#1a1a19"          # primary text
+INK_2 = "#55544f"        # secondary text (axis titles, captions)
+INK_3 = "#8a8983"        # muted text (tick labels)
+GRID = "#e8e7e3"
+AXIS = "#c9c8c3"
+MAX_SERIES = 8           # beyond this, series fold into the table view
+
+E = html.escape
+
+
+def fail(message):
+    print(f"campaign_report: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_doc(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as error:
+        fail(f"{path}: {error}")
+    if not isinstance(doc, dict) or doc.get("schema") != "clover-bench-v1":
+        fail(f"{path}: not a clover-bench-v1 document")
+    return doc
+
+
+def fmt(value, digits=3):
+    """Compact human number: 3 significant digits, SI suffix above 10k."""
+    if value is None:
+        return "–"
+    if isinstance(value, bool):
+        return str(value)
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        return "–"
+    for cut, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= 10 * cut:
+            return f"{value / cut:.3g}{suffix}"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def nice_ticks(hi, count=4):
+    """Ticks 0..hi at a round step; returns (ticks, padded_hi)."""
+    if hi <= 0:
+        return [0.0, 1.0], 1.0
+    raw = hi / count
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    ticks = []
+    t = 0.0
+    while t < hi + step / 2:
+        ticks.append(t)
+        t += step
+    return ticks, ticks[-1]
+
+
+def swatch_legend(names, colors):
+    if len(names) < 2:
+        return ""
+    items = "".join(
+        f'<span class="lg"><span class="sw" '
+        f'style="background:{colors[i]}"></span>{E(name)}</span>'
+        for i, name in enumerate(names))
+    return f'<div class="legend">{items}</div>'
+
+
+def bar_group_chart(title, unit, groups, series, cell, value_fmt=fmt):
+    """Grouped bars: `groups` on x, one bar per `series` member within
+    each group. `cell[(group, s)]` -> (mean, lo, hi, n) or None. Whiskers
+    (lo..hi) appear when n > 1 — the multi-seed spread."""
+    width, height = 640, 260
+    ml, mr, mt, mb = 56, 12, 10, 34
+    plot_w, plot_h = width - ml - mr, height - mt - mb
+
+    peak = 0.0
+    for key, stats in cell.items():
+        if stats:
+            peak = max(peak, stats[2])
+    ticks, y_max = nice_ticks(peak)
+
+    def ypix(v):
+        return mt + plot_h * (1.0 - v / y_max)
+
+    out = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+           f'aria-label="{E(title)}">']
+    out.append(f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>')
+    for t in ticks:
+        y = ypix(t)
+        out.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{width - mr}" '
+                   f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>')
+        out.append(f'<text x="{ml - 6}" y="{y + 3.5:.1f}" text-anchor="end" '
+                   f'class="tick">{E(fmt(t))}</text>')
+    baseline = ypix(0)
+
+    group_w = plot_w / max(1, len(groups))
+    pad = max(4.0, group_w * 0.12)
+    bar_gap = 2.0  # surface gap between adjacent bars
+    n_series = max(1, len(series))
+    bar_w = max(3.0, (group_w - 2 * pad - bar_gap * (n_series - 1)) / n_series)
+    total_bars = len(groups) * n_series
+    for gi, group in enumerate(groups):
+        gx = ml + gi * group_w
+        out.append(f'<text x="{gx + group_w / 2:.1f}" y="{height - 12}" '
+                   f'text-anchor="middle" class="tick">{E(group)}</text>')
+        for si, s in enumerate(series):
+            stats = cell.get((group, s))
+            if not stats:
+                continue
+            mean, lo, hi, n = stats
+            x = gx + pad + si * (bar_w + bar_gap)
+            y = ypix(mean)
+            r = min(4.0, bar_w / 2, abs(baseline - y))
+            color = PALETTE[si % len(PALETTE)]
+            # Rounded data-end at the top, square anchor at the baseline.
+            path = (f"M{x:.1f},{baseline:.1f} L{x:.1f},{y + r:.1f} "
+                    f"Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} "
+                    f"L{x + bar_w - r:.1f},{y:.1f} "
+                    f"Q{x + bar_w:.1f},{y:.1f} {x + bar_w:.1f},{y + r:.1f} "
+                    f"L{x + bar_w:.1f},{baseline:.1f} Z")
+            hover = f"{s} · {group}: {value_fmt(mean)} {unit}"
+            if n > 1:
+                hover += f" (seeds: {value_fmt(lo)}–{value_fmt(hi)}, n={n})"
+            out.append(f'<path d="{path}" fill="{color}">'
+                       f'<title>{E(hover)}</title></path>')
+            if n > 1 and hi > lo:
+                cx = x + bar_w / 2
+                ylo, yhi = ypix(lo), ypix(hi)
+                out.append(f'<line x1="{cx:.1f}" y1="{ylo:.1f}" '
+                           f'x2="{cx:.1f}" y2="{yhi:.1f}" stroke="{INK_2}" '
+                           f'stroke-width="1.5"/>')
+                for yw in (ylo, yhi):
+                    out.append(f'<line x1="{cx - 3:.1f}" y1="{yw:.1f}" '
+                               f'x2="{cx + 3:.1f}" y2="{yw:.1f}" '
+                               f'stroke="{INK_2}" stroke-width="1.5"/>')
+            if total_bars <= MAX_SERIES:  # selective direct labels
+                out.append(f'<text x="{x + bar_w / 2:.1f}" y="{y - 4:.1f}" '
+                           f'text-anchor="middle" class="val">'
+                           f'{E(value_fmt(mean))}</text>')
+    out.append(f'<line x1="{ml}" y1="{baseline:.1f}" x2="{width - mr}" '
+               f'y2="{baseline:.1f}" stroke="{AXIS}" stroke-width="1"/>')
+    out.append(f'<text x="{ml}" y="{mt + 2}" class="unit" '
+               f'text-anchor="start" transform="rotate(0)">{E(unit)}</text>')
+    out.append("</svg>")
+    colors = [PALETTE[i % len(PALETTE)] for i in range(len(series))]
+    return (f'<figure><figcaption>{E(title)}</figcaption>'
+            f'{swatch_legend(series, colors)}{"".join(out)}</figure>')
+
+
+def line_chart(title, unit, x_labels, series):
+    """`series`: list of (name, [value-or-None per x])."""
+    width, height = 640, 260
+    ml, mr, mt, mb = 56, 96, 10, 34  # right margin hosts end labels
+    plot_w, plot_h = width - ml - mr, height - mt - mb
+
+    peak = 0.0
+    for _, values in series:
+        for v in values:
+            if v is not None:
+                peak = max(peak, v)
+    ticks, y_max = nice_ticks(peak)
+
+    def xpix(i):
+        if len(x_labels) == 1:
+            return ml + plot_w / 2
+        return ml + plot_w * i / (len(x_labels) - 1)
+
+    def ypix(v):
+        return mt + plot_h * (1.0 - v / y_max)
+
+    out = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+           f'aria-label="{E(title)}">']
+    out.append(f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>')
+    for t in ticks:
+        y = ypix(t)
+        out.append(f'<line x1="{ml}" y1="{y:.1f}" x2="{width - mr}" '
+                   f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>')
+        out.append(f'<text x="{ml - 6}" y="{y + 3.5:.1f}" text-anchor="end" '
+                   f'class="tick">{E(fmt(t))}</text>')
+    for i, label in enumerate(x_labels):
+        out.append(f'<text x="{xpix(i):.1f}" y="{height - 12}" '
+                   f'text-anchor="middle" class="tick">{E(label)}</text>')
+    for si, (name, values) in enumerate(series):
+        color = PALETTE[si % len(PALETTE)]
+        points = [(xpix(i), ypix(v), i, v)
+                  for i, v in enumerate(values) if v is not None]
+        if len(points) >= 2:
+            d = "M" + " L".join(f"{x:.1f},{y:.1f}" for x, y, _, _ in points)
+            out.append(f'<path d="{d}" fill="none" stroke="{color}" '
+                       f'stroke-width="2"/>')
+        for x, y, i, v in points:
+            out.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                       f'fill="{color}" stroke="{SURFACE}" stroke-width="2">'
+                       f'<title>{E(name)} · {E(x_labels[i])}: '
+                       f'{E(fmt(v))} {E(unit)}</title></circle>')
+        if points and len(series) <= 4:  # direct label at the line end
+            x, y, _, _ = points[-1]
+            out.append(f'<text x="{x + 8:.1f}" y="{y + 3.5:.1f}" '
+                       f'class="val">{E(name)}</text>')
+    out.append(f'<line x1="{ml}" y1="{ypix(0):.1f}" x2="{width - mr}" '
+               f'y2="{ypix(0):.1f}" stroke="{AXIS}" stroke-width="1"/>')
+    out.append(f'<text x="{ml}" y="{mt + 2}" class="unit">{E(unit)}</text>')
+    out.append("</svg>")
+    colors = [PALETTE[i % len(PALETTE)] for i in range(len(series))]
+    names = [name for name, _ in series]
+    return (f'<figure><figcaption>{E(title)}</figcaption>'
+            f'{swatch_legend(names, colors)}{"".join(out)}</figure>')
+
+
+def data_table(headers, rows):
+    head = "".join(f"<th>{E(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{E(str(c))}</td>" for c in row) + "</tr>"
+        for row in rows)
+    return (f'<details><summary>data table</summary><table>'
+            f'<thead><tr>{head}</tr></thead>'
+            f'<tbody>{body}</tbody></table></details>')
+
+
+def aggregate(rows, metric):
+    """(scheme, app) -> (mean, min, max, n) over the summary rows (one row
+    per cell; several rows per scheme x app when the grid spans seeds)."""
+    cell = {}
+    for key, group in rows.items():
+        values = [r[metric] for r in group
+                  if isinstance(r.get(metric), (int, float))]
+        if values:
+            cell[key] = (sum(values) / len(values), min(values),
+                         max(values), len(values))
+    return cell
+
+
+def campaign_section(doc, label):
+    campaign = doc["campaign"]
+    summary = campaign.get("summary", [])
+    parts = [f'<h2>campaign <code>{E(campaign.get("name", label))}</code>'
+             f'</h2>']
+    if campaign.get("description"):
+        parts.append(f'<p class="muted">{E(campaign["description"])}</p>')
+    parts.append(
+        f'<p class="muted">{campaign.get("unique_cells", len(summary))} '
+        f'cells · mode {E(str(campaign.get("mode", "?")))} · source '
+        f'<code>{E(label)}</code></p>')
+    if not summary:
+        parts.append("<p>no summary rows</p>")
+        return "".join(parts)
+
+    # Entity order is fixed: schemes sorted with BASE first, so BASE is
+    # always the same palette slot in every chart of every report.
+    schemes = sorted({r["scheme"] for r in summary},
+                     key=lambda s: (s != "BASE", s))
+    apps = sorted({r["app"] for r in summary})
+    grouped = {}
+    for r in summary:
+        grouped.setdefault((r["app"], r["scheme"]), []).append(r)
+
+    for metric, title, unit in (
+            ("total_carbon_g", "Operational carbon per application", "gCO2"),
+            ("weighted_accuracy", "Request-weighted accuracy", "%"),
+            ("p95_ms", "End-to-end p95 latency", "ms")):
+        parts.append(bar_group_chart(title, unit, apps, schemes,
+                                     aggregate(grouped, metric)))
+
+    # vs-BASE deltas: mean over seeds, with the seed spread when n > 1.
+    delta_rows = []
+    for app in apps:
+        for scheme in schemes:
+            if scheme == "BASE":
+                continue
+            group = grouped.get((app, scheme), [])
+            row = [app, scheme]
+            for metric in ("carbon_save_pct_vs_base",
+                           "accuracy_loss_pct_vs_base", "p95_norm_vs_base"):
+                values = [r[metric] for r in group
+                          if isinstance(r.get(metric), (int, float))]
+                if not values:
+                    row.append("–")
+                elif len(values) == 1:
+                    row.append(fmt(values[0]))
+                else:
+                    row.append(f"{fmt(sum(values) / len(values))} "
+                               f"[{fmt(min(values))}–{fmt(max(values))}]")
+            delta_rows.append(row)
+    if delta_rows:
+        parts.append("<h3>vs BASE (mean [min–max] over seeds)</h3>")
+        head = "".join(f"<th>{E(h)}</th>" for h in
+                       ("app", "scheme", "carbon saved %",
+                        "accuracy loss %", "p95 / BASE"))
+        body = "".join(
+            "<tr>" + "".join(f"<td>{E(str(c))}</td>" for c in row) + "</tr>"
+            for row in delta_rows)
+        parts.append(f'<table><thead><tr>{head}</tr></thead>'
+                     f'<tbody>{body}</tbody></table>')
+
+    parts.append(data_table(
+        ["cell", "scheme", "app", "completions", "carbon g",
+         "accuracy %", "p95 ms"],
+        [[r.get("cell", "?"), r.get("scheme", "?"), r.get("app", "?"),
+          fmt(r.get("completions")), fmt(r.get("total_carbon_g")),
+          fmt(r.get("weighted_accuracy")), fmt(r.get("p95_ms"))]
+         for r in summary]))
+    return "".join(parts)
+
+
+def trajectory_section(docs):
+    labels = [label for label, _ in docs]
+    parts = ['<h2>bench trajectory</h2>',
+             f'<p class="muted">{len(docs)} BENCH snapshot(s), oldest '
+             f'first: {E(", ".join(labels))}</p>']
+    for metric, title, unit in (
+            ("events_per_sec", "Simulator throughput per scenario",
+             "events/s"),
+            ("candidates_per_sec", "Optimizer throughput per scenario",
+             "candidates/s")):
+        names = []
+        for _, doc in docs:
+            for s in doc.get("scenarios", []):
+                if s.get(metric) and s["name"] not in names:
+                    names.append(s["name"])
+        if not names:
+            continue
+        shown, folded = names[:MAX_SERIES], names[MAX_SERIES:]
+        series = []
+        for name in shown:
+            values = []
+            for _, doc in docs:
+                row = next((s for s in doc.get("scenarios", [])
+                            if s["name"] == name), None)
+                values.append(row.get(metric) if row else None)
+            series.append((name, values))
+        parts.append(line_chart(title, unit, labels, series))
+        if folded:
+            parts.append(f'<p class="muted">{len(folded)} scenario(s) not '
+                         f'charted ({E(", ".join(folded))}) — see the '
+                         f'table.</p>')
+        parts.append(data_table(
+            ["scenario"] + labels,
+            [[name] + [fmt(next((s.get(metric) for s in
+                                 doc.get("scenarios", [])
+                                 if s["name"] == name), None))
+                       for _, doc in docs]
+             for name in names]))
+    return "".join(parts)
+
+
+CSS = f"""
+body {{ background: {SURFACE}; color: {INK}; margin: 2rem auto;
+       max-width: 44rem; padding: 0 1rem;
+       font: 14px/1.5 system-ui, sans-serif; }}
+h1 {{ font-size: 1.3rem; }} h2 {{ font-size: 1.1rem; margin-top: 2rem; }}
+h3 {{ font-size: 0.95rem; }}
+code {{ background: #f1f0ec; padding: 0 0.25em; border-radius: 3px; }}
+.muted {{ color: {INK_3}; }}
+figure {{ margin: 1.25rem 0; }}
+figcaption {{ color: {INK_2}; font-weight: 600; margin-bottom: 0.25rem; }}
+svg {{ width: 100%; height: auto; display: block; }}
+svg text {{ font: 11px system-ui, sans-serif; fill: {INK_3}; }}
+svg text.val {{ fill: {INK_2}; }}
+svg text.unit {{ fill: {INK_2}; font-weight: 600; }}
+.legend {{ display: flex; gap: 1rem; flex-wrap: wrap; margin: 0.25rem 0;
+           color: {INK_2}; }}
+.lg {{ display: inline-flex; align-items: center; gap: 0.35rem; }}
+.sw {{ width: 10px; height: 10px; border-radius: 2px; display: inline-block; }}
+table {{ border-collapse: collapse; margin: 0.5rem 0; width: 100%; }}
+th, td {{ text-align: left; padding: 0.25rem 0.6rem; border-bottom:
+          1px solid {GRID}; font-variant-numeric: tabular-nums; }}
+th {{ color: {INK_2}; }}
+details summary {{ color: {INK_3}; cursor: pointer; margin-top: 0.25rem; }}
+"""
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render clover-bench-v1 JSON files to one HTML report.")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument("--out", default="report.html")
+    parser.add_argument("--title", default="clover campaign report")
+    args = parser.parse_args()
+
+    campaigns, benches = [], []
+    for path in args.files:
+        doc = load_doc(path)
+        label = os.path.splitext(os.path.basename(path))[0]
+        if "campaign" in doc:
+            campaigns.append((label, doc))
+        else:
+            benches.append((label, doc))
+
+    body = [f"<h1>{E(args.title)}</h1>",
+            f'<p class="muted">{len(campaigns)} campaign(s), '
+            f'{len(benches)} bench snapshot(s)</p>']
+    for label, doc in campaigns:
+        body.append(campaign_section(doc, label))
+    if benches:
+        body.append(trajectory_section(benches))
+
+    document = (f"<!doctype html><html lang=\"en\"><head>"
+                f"<meta charset=\"utf-8\">"
+                f"<meta name=\"viewport\" "
+                f"content=\"width=device-width, initial-scale=1\">"
+                f"<title>{E(args.title)}</title><style>{CSS}</style>"
+                f"</head><body>{''.join(body)}</body></html>\n")
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(document)
+    print(f"wrote {args.out} ({len(document)} bytes, "
+          f"{len(campaigns)} campaign(s), {len(benches)} bench file(s))")
+
+
+if __name__ == "__main__":
+    main()

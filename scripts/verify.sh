@@ -80,6 +80,20 @@ if [[ "${CLOVER_SKIP_CAMPAIGN:-}" != 1 ]]; then
     python3 scripts/validate_bench_json.py \
       "$BUILD_DIR"/campaign_out/CAMPAIGN_smoke.json
   fi
+  # Multi-process execution (docs/CAMPAIGNS.md): a 2-worker run must be
+  # byte-identical to a 1-worker run of the same spec.
+  "$BUILD_DIR"/examples/clover_campaign run campaigns/smoke.json \
+    --workers 1 --out "$BUILD_DIR/campaign_w1"
+  "$BUILD_DIR"/examples/clover_campaign run campaigns/smoke.json \
+    --workers 2 --out "$BUILD_DIR/campaign_w2"
+  cmp "$BUILD_DIR"/campaign_w1/CAMPAIGN_smoke.json \
+    "$BUILD_DIR"/campaign_w2/CAMPAIGN_smoke.json
+  # The self-contained HTML report (mirrors the CI report step).
+  if command -v python3 >/dev/null; then
+    python3 scripts/campaign_report.py \
+      --out "$BUILD_DIR/campaign_report.html" \
+      "$BUILD_DIR"/campaign_out/CAMPAIGN_smoke.json
+  fi
 fi
 
 # ASan + UBSan sweep of the unit suite (mirrors the CI sanitize job).

@@ -1,0 +1,89 @@
+#include "common/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace clover {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Distinguishes concurrent writers of the same destination within one
+// process (two campaign threads journaling different cells never collide on
+// the destination, but a shared temp name would still be a race).
+std::atomic<std::uint64_t> g_temp_seq{0};
+
+std::string TempSibling(const std::string& path) {
+  const fs::path p(path);
+  const std::string name = p.filename().string();
+  std::ostringstream tmp;
+  tmp << ".tmp-" << name << "." << ::getpid() << "."
+      << g_temp_seq.fetch_add(1, std::memory_order_relaxed);
+  return (p.parent_path() / tmp.str()).string();
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(const std::string& path)
+    : path_(path), tmp_path_(TempSibling(path)), out_(tmp_path_) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (committed_) return;
+  out_.close();
+  std::error_code ec;
+  fs::remove(tmp_path_, ec);  // best effort; an orphan dotfile is harmless
+}
+
+void AtomicFileWriter::Commit() {
+  CLOVER_CHECK_MSG(out_.good(),
+                   "cannot write " << path_ << " (temp " << tmp_path_ << ")");
+  out_.flush();
+  CLOVER_CHECK_MSG(out_.good(), "short write to " << tmp_path_);
+  out_.close();
+  std::error_code ec;
+  fs::rename(tmp_path_, path_, ec);
+  CLOVER_CHECK_MSG(!ec, "cannot publish " << path_ << ": " << ec.message());
+  committed_ = true;
+}
+
+bool CreateFileExclusive(const std::string& path, const std::string& content) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    CLOVER_CHECK_MSG(false, "cannot create " << path << ": "
+                                             << std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      CLOVER_CHECK_MSG(false, "cannot write " << path << ": "
+                                              << std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+}  // namespace clover

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/fs.h"
 #include "common/table.h"
 
 namespace clover::exp {
@@ -94,14 +95,19 @@ void WriteSuiteFields(JsonWriter* json, const SuiteTiming& suite) {
 }
 
 void WriteBenchJson(const SuiteTiming& suite, const std::string& path) {
-  std::ofstream out(path);
-  CLOVER_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  JsonWriter json(&out);
-  json.BeginObject();
-  WriteSuiteFields(&json, suite);
-  json.EndObject();
-  out << "\n";
-  CLOVER_CHECK_MSG(out.good(), "short write to " << path);
+  // tmp + rename publication: a reader (CI validator, report generator)
+  // can never observe a partially written BENCH_*.json.
+  AtomicFileWriter out(path);
+  CLOVER_CHECK_MSG(out.good(), "cannot open " << out.temp_path()
+                                              << " for writing");
+  {
+    JsonWriter json(&out.stream());
+    json.BeginObject();
+    WriteSuiteFields(&json, suite);
+    json.EndObject();
+    out.stream() << "\n";
+  }
+  out.Commit();
 }
 
 void PrintSuiteTable(const SuiteTiming& suite) {

@@ -3,17 +3,15 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <stdexcept>
-#include <map>
 #include <memory>
 #include <optional>
 
 #include "common/check.h"
 #include "common/log.h"
-#include "common/table.h"
 #include "common/thread_pool.h"
+#include "exp/journal.h"
 #include "models/zoo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -28,117 +26,6 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-std::string JournalPath(const std::string& out_dir, const CellSpec& cell) {
-  return out_dir + "/runs/" + cell.Name() + ".json";
-}
-
-// Journals one finished cell (schema clover-campaign-run-v1). Only the
-// scalar report fields are stored — enough to rebuild the consolidated
-// scenario row and the summary table bit-identically on resume.
-// `fault_fingerprint` pins fault cells to the campaign's fault_profile:
-// the cell name does not encode the profile rates, so without it an
-// edited profile would silently resume a different schedule's results.
-void WriteJournal(const std::string& path, const std::string& campaign,
-                  const std::string& fault_fingerprint,
-                  const CellOutcome& outcome) {
-  std::ofstream out(path);
-  CLOVER_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  JsonWriter json(&out);
-  json.BeginObject();
-  json.Key("schema");
-  json.String("clover-campaign-run-v1");
-  json.Key("campaign");
-  json.String(campaign);
-  json.Key("cell");
-  json.String(outcome.cell.Name());
-  if (outcome.cell.fault_seed != 0) {
-    json.Key("fault_profile");
-    json.String(fault_fingerprint);
-  }
-  json.Key("wall_seconds");
-  json.Number(outcome.wall_seconds);
-  json.Key("candidates");
-  json.UInt(outcome.candidates);
-  json.Key("report");
-  json.BeginObject();
-  const core::RunReport& report = outcome.report;
-  json.Key("arrivals");
-  json.UInt(report.arrivals);
-  json.Key("completions");
-  json.UInt(report.completions);
-  json.Key("total_energy_j");
-  json.Number(report.total_energy_j);
-  json.Key("total_carbon_g");
-  json.Number(report.total_carbon_g);
-  json.Key("weighted_accuracy");
-  json.Number(report.weighted_accuracy);
-  json.Key("overall_p50_ms");
-  json.Number(report.overall_p50_ms);
-  json.Key("overall_p95_ms");
-  json.Number(report.overall_p95_ms);
-  json.Key("overall_p99_ms");
-  json.Number(report.overall_p99_ms);
-  json.Key("carbon_per_request_g");
-  json.Number(report.carbon_per_request_g);
-  json.Key("sim_events");
-  json.UInt(report.sim_events);
-  json.Key("wall_seconds");
-  json.Number(report.wall_seconds);
-  json.EndObject();
-  json.EndObject();
-  out << "\n";
-  CLOVER_CHECK_MSG(out.good(), "short write to " << path);
-}
-
-// Loads a journal written by WriteJournal. Returns nullopt — and leaves the
-// cell to re-execute — when the file is missing, truncated, unparsable,
-// journals a different cell (a stale file under a colliding name), or is a
-// fault cell journaled under a different fault_profile.
-std::optional<CellOutcome> LoadJournal(const std::string& path,
-                                       const CellSpec& cell,
-                                       const std::string& fault_fingerprint) {
-  if (!std::filesystem::exists(path)) return std::nullopt;
-  try {
-    const JsonValue doc = ParseJsonFile(path);
-    if (doc.At("schema").AsString() != "clover-campaign-run-v1")
-      return std::nullopt;
-    if (doc.At("cell").AsString() != cell.Name()) return std::nullopt;
-    if (cell.fault_seed != 0) {
-      const JsonValue* journaled = doc.Find("fault_profile");
-      if (journaled == nullptr || journaled->AsString() != fault_fingerprint)
-        return std::nullopt;
-    }
-    CellOutcome outcome;
-    outcome.cell = cell;
-    outcome.resumed = true;
-    outcome.wall_seconds = doc.At("wall_seconds").AsNumber();
-    outcome.candidates = doc.At("candidates").AsUInt();
-    const JsonValue& report = doc.At("report");
-    outcome.report.arrivals = report.At("arrivals").AsUInt();
-    outcome.report.completions = report.At("completions").AsUInt();
-    outcome.report.total_energy_j = report.At("total_energy_j").AsNumber();
-    outcome.report.total_carbon_g = report.At("total_carbon_g").AsNumber();
-    outcome.report.weighted_accuracy =
-        report.At("weighted_accuracy").AsNumber();
-    outcome.report.overall_p50_ms = report.At("overall_p50_ms").AsNumber();
-    outcome.report.overall_p95_ms = report.At("overall_p95_ms").AsNumber();
-    outcome.report.overall_p99_ms = report.At("overall_p99_ms").AsNumber();
-    outcome.report.carbon_per_request_g =
-        report.At("carbon_per_request_g").AsNumber();
-    outcome.report.sim_events = report.At("sim_events").AsUInt();
-    outcome.report.wall_seconds = report.At("wall_seconds").AsNumber();
-    outcome.report.app = cell.app;
-    outcome.report.scheme = cell.scheme;
-    return outcome;
-  } catch (const JsonParseError& error) {
-    // Torn write from a killed campaign (or hand-edited damage): the cell
-    // simply re-runs.
-    CLOVER_WARN("campaign: discarding journal " << path << " ("
-                << error.what() << ")");
-    return std::nullopt;
-  }
-}
-
 std::uint64_t CountCandidates(const core::RunReport& report) {
   std::uint64_t candidates = 0;
   for (const core::OptimizationRun& run : report.optimizations)
@@ -146,23 +33,40 @@ std::uint64_t CountCandidates(const core::RunReport& report) {
   return candidates;
 }
 
-// Builds the exact command that re-runs one cell of this campaign. Cells
-// are deterministic per spec + name, so a single-threaded re-run of the
-// whole spec reproduces the failing cell; resume makes it cheap when the
-// journal survived.
+// POSIX single-quote quoting: the only character that needs care inside
+// single quotes is the single quote itself ('\'' splice).
+std::string ShellQuote(const std::string& text) {
+  std::string out = "'";
+  for (const char c : text) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
 std::string CellReproCommand(const CampaignSpec& spec) {
   const std::string source =
       spec.source_path.empty() ? ("<campaign spec '" + spec.name + "'>")
                                : spec.source_path;
-  return "./build/examples/clover_campaign run " + source + " --threads 1";
+  const char* triage_env = std::getenv("CLOVER_TRIAGE_DIR");
+  const std::string triage_root =
+      (triage_env != nullptr && *triage_env != '\0') ? triage_env : "triage";
+  // Cells are deterministic per spec + name, so a single-threaded re-run of
+  // the whole spec reproduces the failing cell; resume makes it cheap when
+  // the journal survived.
+  return "CLOVER_TRIAGE_DIR=" + ShellQuote(triage_root + "/repro") +
+         " ./build/examples/clover_campaign run " + ShellQuote(source) +
+         " --threads 1";
 }
 
-// On any cell failure: write a triage bundle naming the cell, its config
-// key-values and the repro command, then rethrow — the campaign still
-// fails, but the artifact makes the red run reproducible by itself.
-[[noreturn]] void TriageCellFailure(const CampaignSpec& spec,
-                                    const CellSpec& cell,
-                                    const std::exception& error) {
+void TriageCellFailure(const CampaignSpec& spec, const CellSpec& cell,
+                       const std::exception& error) {
   CLOVER_OBS_COUNT("campaign.cell_failures", 1);
   obs::TriageContext triage;
   triage.name = "campaign-" + cell.Name();
@@ -182,9 +86,6 @@ std::string CellReproCommand(const CampaignSpec& spec) {
   throw;
 }
 
-// Executes one cell. `harness` is the slot's reusable harness (calibration
-// cache shared across the slot's cells; results are unaffected because
-// calibration is deterministic per setting).
 CellOutcome ExecuteCell(const CampaignSpec& spec, const CellSpec& cell,
                         core::ExperimentHarness* harness) {
   CLOVER_TRACE_SCOPE("campaign.cell");
@@ -215,129 +116,6 @@ CellOutcome ExecuteCell(const CampaignSpec& spec, const CellSpec& cell,
   outcome.wall_seconds = SecondsSince(start);
   return outcome;
 }
-
-struct SummaryRow {
-  const CellOutcome* outcome;
-  const CellOutcome* base;  // BASE twin in the same campaign, if present
-};
-
-std::vector<SummaryRow> BuildSummary(const std::vector<CellOutcome>& cells) {
-  std::map<std::string, const CellOutcome*> by_name;
-  for (const CellOutcome& outcome : cells)
-    by_name[outcome.cell.Name()] = &outcome;
-  std::vector<SummaryRow> rows;
-  rows.reserve(cells.size());
-  for (const CellOutcome& outcome : cells) {
-    SummaryRow row;
-    row.outcome = &outcome;
-    row.base = nullptr;
-    if (outcome.cell.scheme != core::Scheme::kBase) {
-      CellSpec twin = outcome.cell;
-      twin.scheme = core::Scheme::kBase;
-      const auto it = by_name.find(twin.Name());
-      if (it != by_name.end()) row.base = it->second;
-    }
-    rows.push_back(row);
-  }
-  return rows;
-}
-
-void WriteConsolidated(const std::string& path, const CampaignSpec& spec,
-                       const CampaignResult& result,
-                       const std::vector<SummaryRow>& summary) {
-  std::ofstream out(path);
-  CLOVER_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  JsonWriter json(&out);
-  json.BeginObject();
-  WriteSuiteFields(&json, result.suite);
-  json.Key("campaign");
-  json.BeginObject();
-  json.Key("schema");
-  json.String("clover-campaign-v1");
-  json.Key("name");
-  json.String(spec.name);
-  json.Key("description");
-  json.String(spec.description);
-  json.Key("mode");
-  json.String(spec.mode == CampaignMode::kFleet ? "fleet" : "single");
-  json.Key("grid_cells");
-  json.Int(result.grid_cells);
-  json.Key("unique_cells");
-  json.Int(static_cast<std::int64_t>(result.cells.size()));
-  json.Key("resumed_cells");
-  json.Int(result.resumed_cells);
-  json.Key("summary");
-  json.BeginArray();
-  for (const SummaryRow& row : summary) {
-    const core::RunReport& report = row.outcome->report;
-    json.BeginObject();
-    json.Key("cell");
-    json.String(row.outcome->cell.Name());
-    json.Key("scheme");
-    json.String(core::SchemeName(row.outcome->cell.scheme));
-    json.Key("app");
-    json.String(models::ApplicationName(row.outcome->cell.app));
-    json.Key("completions");
-    json.UInt(report.completions);
-    json.Key("total_carbon_g");
-    json.Number(report.total_carbon_g);
-    json.Key("carbon_per_request_g");
-    json.Number(report.carbon_per_request_g);
-    json.Key("weighted_accuracy");
-    json.Number(report.weighted_accuracy);
-    json.Key("p95_ms");
-    json.Number(report.overall_p95_ms);
-    json.Key("carbon_save_pct_vs_base");
-    if (row.base != nullptr) {
-      json.Number(report.CarbonSavePctVs(row.base->report));
-    } else {
-      json.Null();
-    }
-    json.Key("accuracy_loss_pct_vs_base");
-    if (row.base != nullptr) {
-      json.Number(report.AccuracyLossPctVs(row.base->report));
-    } else {
-      json.Null();
-    }
-    json.Key("p95_norm_vs_base");
-    if (row.base != nullptr) {
-      json.Number(report.P95NormVs(row.base->report));
-    } else {
-      json.Null();
-    }
-    json.EndObject();
-  }
-  json.EndArray();
-  json.EndObject();
-  json.EndObject();
-  out << "\n";
-  CLOVER_CHECK_MSG(out.good(), "short write to " << path);
-}
-
-void PrintSummaryTable(const std::vector<SummaryRow>& summary) {
-  TextTable table({"cell", "served", "gCO2", "accuracy", "p95 (ms)",
-                   "save% vs BASE", "acc loss%", "p95 norm"});
-  for (const SummaryRow& row : summary) {
-    const core::RunReport& report = row.outcome->report;
-    const bool has_base = row.base != nullptr;
-    table.AddRow(
-        {row.outcome->cell.Name(), std::to_string(report.completions),
-         TextTable::Num(report.total_carbon_g, 1),
-         TextTable::Num(report.weighted_accuracy, 2),
-         TextTable::Num(report.overall_p95_ms, 2),
-         has_base
-             ? TextTable::Num(report.CarbonSavePctVs(row.base->report), 1)
-             : std::string("-"),
-         has_base
-             ? TextTable::Num(report.AccuracyLossPctVs(row.base->report), 2)
-             : std::string("-"),
-         has_base ? TextTable::Num(report.P95NormVs(row.base->report), 2)
-                  : std::string("-")});
-  }
-  table.Print(std::cout);
-}
-
-}  // namespace
 
 ScenarioTiming CellScenarioRow(const CellOutcome& outcome) {
   ScenarioTiming timing;
@@ -398,6 +176,7 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
   std::vector<std::size_t> todo;
   for (std::size_t i = 0; i < spec.cells.size(); ++i)
     if (pending[i]) todo.push_back(i);
+  result.executed_cells = static_cast<int>(todo.size());
 
   const auto start = std::chrono::steady_clock::now();
   if (!todo.empty()) {

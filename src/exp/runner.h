@@ -10,14 +10,20 @@
 // bench path).
 //
 // Resume: every finished cell is journaled to <out>/runs/<cell>.json
-// (schema clover-campaign-run-v1) as it completes. A re-run with
-// resume = true loads every journal whose cell name matches and only
-// executes the missing cells; truncated or unparsable journals (a killed
-// run's torn write) are discarded and re-executed, as are fault-cell
-// journals whose recorded fault_profile fingerprint no longer matches the
-// spec (cell names do not encode the profile rates). The consolidated
-// scenario rows of a resumed campaign are identical to a fresh run's
-// (resumed rows reuse the journaled wall time).
+// (schema clover-campaign-run-v1) as it completes — published atomically
+// via tmp + rename, so a journal either exists complete or not at all
+// (exp/journal.h). A re-run with resume = true loads every journal whose
+// cell name matches and only executes the missing cells; damaged journals
+// (a killed run's leftovers, hand-edited files, even a directory squatting
+// on the name) are discarded and re-executed, as are fault-cell journals
+// whose recorded fault_profile fingerprint no longer matches the spec
+// (cell names do not encode the profile rates). The consolidated scenario
+// rows of a resumed campaign are identical to a fresh run's (resumed rows
+// reuse the journaled wall time).
+//
+// Multi-process execution — N cooperating workers over one runs/
+// directory, with cell claims, heartbeat TTLs and a byte-deterministic
+// fold — lives in exp/worker.h and builds on the same journal files.
 //
 // Consolidated document: a clover-bench-v1 document (validated by
 // scripts/validate_bench_json.py like every BENCH_*.json) with one
@@ -61,6 +67,11 @@ struct CampaignResult {
   std::vector<CellOutcome> cells;  // grid order (post-dedup)
   int grid_cells = 0;              // before dedup
   int resumed_cells = 0;
+  // Cells this process actually executed. For the multi-process worker
+  // path (exp/worker.h) resumed_cells is pinned to cells.size() — every
+  // fold row is rebuilt from its journal — so this is the only honest
+  // "how much did I run" number there.
+  int executed_cells = 0;
   double wall_seconds = 0.0;
   SuiteTiming suite;               // the consolidated scenario rows
   std::string consolidated_path;   // "" when !write_files
@@ -72,5 +83,26 @@ CampaignResult RunCampaign(const CampaignSpec& spec,
 // The consolidated scenario row for one cell — shared by the runner and
 // by bench_runner's campaign-backed scenarios so the two cannot drift.
 ScenarioTiming CellScenarioRow(const CellOutcome& outcome);
+
+// Executes one cell on the given reusable harness (ignored for fleet
+// cells). Shared by the in-process runner and the multi-process worker
+// (exp/worker.h); throws whatever the harness throws.
+CellOutcome ExecuteCell(const CampaignSpec& spec, const CellSpec& cell,
+                        core::ExperimentHarness* harness);
+
+// The exact shell command that re-runs one cell of this campaign, safe to
+// paste into a POSIX shell: the spec path is shell-quoted (paths with
+// spaces or quotes must not splice into repro.sh as syntax), and
+// CLOVER_TRIAGE_DIR is redirected to a "<triage root>/repro" subdirectory
+// so the repro run's own bundle can never clobber the bundle that told you
+// to run it.
+std::string CellReproCommand(const CampaignSpec& spec);
+
+// On any cell failure: write a triage bundle naming the cell, its config
+// key-values and the repro command, then rethrow — the campaign still
+// fails, but the artifact makes the red run reproducible by itself.
+[[noreturn]] void TriageCellFailure(const CampaignSpec& spec,
+                                    const CellSpec& cell,
+                                    const std::exception& error);
 
 }  // namespace clover::exp

@@ -1,0 +1,389 @@
+#include "exp/worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fs.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "exp/journal.h"
+#include "models/zoo.h"
+#include "obs/metrics.h"
+#include "obs/triage.h"
+
+namespace clover::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+double UnixNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string HostName() {
+  char buffer[256] = {};
+  if (::gethostname(buffer, sizeof(buffer) - 1) != 0) return "unknown";
+  return buffer;
+}
+
+// Claim file content (schema clover-campaign-claim-v1). The owner token is
+// the authoritative field — StillOwns compares it; pid/host/heartbeat are
+// for humans and the staleness check.
+std::string ClaimContent(const std::string& campaign, const std::string& cell,
+                         const std::string& owner) {
+  std::ostringstream out;
+  {
+    JsonWriter json(&out);
+    json.BeginObject();
+    json.Key("schema");
+    json.String("clover-campaign-claim-v1");
+    json.Key("campaign");
+    json.String(campaign);
+    json.Key("cell");
+    json.String(cell);
+    json.Key("owner");
+    json.String(owner);
+    json.Key("pid");
+    json.Int(static_cast<std::int64_t>(::getpid()));
+    json.Key("host");
+    json.String(HostName());
+    json.Key("heartbeat_unix_s");
+    json.Number(UnixNowSeconds());
+    json.EndObject();
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::optional<std::string> ReadClaimOwner(const std::string& path) {
+  const std::optional<std::string> content = ReadFileToString(path);
+  if (!content) return std::nullopt;
+  try {
+    return ParseJson(*content).At("owner").AsString();
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+// Heartbeat age in seconds. Prefers the claim's own heartbeat field (works
+// across hosts sharing a clock); falls back to the file mtime when the
+// content is torn or unreadable, so a damaged claim still expires instead
+// of wedging the cell forever.
+double ClaimAgeSeconds(const std::string& path) {
+  if (const std::optional<std::string> content = ReadFileToString(path)) {
+    try {
+      return UnixNowSeconds() -
+             ParseJson(*content).At("heartbeat_unix_s").AsNumber();
+    } catch (const std::exception&) {
+    }
+  }
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(path, ec);
+  if (ec) return 0.0;  // vanished mid-check: someone owns it; retry later
+  return std::chrono::duration<double>(fs::file_time_type::clock::now() -
+                                       mtime)
+      .count();
+}
+
+// Owns this worker's claims: O_EXCL acquisition, TTL-based stealing, and a
+// background heartbeat thread that refreshes the claim of the cell
+// currently executing (atomically, so claim files are never torn).
+class ClaimManager {
+ public:
+  ClaimManager(std::string campaign, std::string owner, double ttl_s)
+      : campaign_(std::move(campaign)),
+        owner_(std::move(owner)),
+        ttl_s_(ttl_s),
+        heartbeat_([this] { HeartbeatLoop(); }) {}
+
+  ~ClaimManager() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    heartbeat_.join();
+  }
+
+  ClaimManager(const ClaimManager&) = delete;
+  ClaimManager& operator=(const ClaimManager&) = delete;
+
+  // True iff this worker now holds the claim on `cell`. Fresh foreign
+  // claims lose; claims whose heartbeat is stale past the TTL are stolen.
+  bool TryClaim(const std::string& path, const std::string& cell) {
+    if (CreateFileExclusive(path, ClaimContent(campaign_, cell, owner_))) {
+      CLOVER_OBS_COUNT("campaign.claims", 1);
+      SetCurrent(path, cell);
+      return true;
+    }
+    if (ClaimAgeSeconds(path) <= ttl_s_) return false;
+    // Stale claim: its worker stopped heartbeating (killed, or stalled
+    // longer than the TTL). Rename it away — of N concurrent stealers
+    // exactly one rename succeeds — then race for the vacant slot like any
+    // fresh claim.
+    const std::string away =
+        path + ".stale-" + std::to_string(::getpid()) + "-" +
+        std::to_string(steal_seq_++);
+    std::error_code ec;
+    fs::rename(path, away, ec);
+    if (ec) return false;  // another stealer (or the owner's refresh) won
+    fs::remove(away, ec);
+    if (!CreateFileExclusive(path, ClaimContent(campaign_, cell, owner_)))
+      return false;
+    CLOVER_OBS_COUNT("campaign.claims", 1);
+    CLOVER_OBS_COUNT("campaign.claim_steals", 1);
+    CLOVER_WARN("campaign: stole stale claim on " << cell
+                << " (heartbeat older than " << ttl_s_ << " s)");
+    SetCurrent(path, cell);
+    return true;
+  }
+
+  bool StillOwns(const std::string& path) const {
+    const std::optional<std::string> owner = ReadClaimOwner(path);
+    return owner.has_value() && *owner == owner_;
+  }
+
+  // Clears the heartbeat target and deletes the claim if still ours.
+  void Release(const std::string& path) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      current_path_.clear();
+      current_cell_.clear();
+    }
+    if (StillOwns(path)) {
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+  }
+
+ private:
+  void SetCurrent(const std::string& path, const std::string& cell) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_path_ = path;
+    current_cell_ = cell;
+  }
+
+  void HeartbeatLoop() {
+    const auto interval =
+        std::chrono::duration<double>(std::max(0.05, ttl_s_ / 4.0));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, interval, [this] { return stop_; });
+      if (stop_) break;
+      if (current_path_.empty()) continue;
+      const std::string path = current_path_;
+      const std::string cell = current_cell_;
+      lock.unlock();
+      Refresh(path, cell);
+      lock.lock();
+    }
+  }
+
+  void Refresh(const std::string& path, const std::string& cell) {
+    // Never resurrect a stolen claim: the stealer owns the cell now; the
+    // publish-time conflict check reports the double execution.
+    if (!StillOwns(path)) return;
+    try {
+      AtomicFileWriter out(path);
+      if (!out.good()) return;
+      out.stream() << ClaimContent(campaign_, cell, owner_);
+      out.Commit();
+    } catch (const std::exception&) {
+      // Best effort: a missed heartbeat only risks an early steal, which
+      // the protocol tolerates.
+    }
+  }
+
+  const std::string campaign_;
+  const std::string owner_;
+  const double ttl_s_;
+  std::uint64_t steal_seq_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::string current_path_;
+  std::string current_cell_;
+  std::thread heartbeat_;  // last member: starts after everything it reads
+};
+
+// A claim conflict means this worker stalled past the TTL, a peer stole
+// the cell, and both executed it. Cells are deterministic so the journal
+// content is unaffected — but the wasted work and the TTL-vs-cell-duration
+// mismatch deserve a paper trail.
+void ReportClaimConflict(const CampaignSpec& spec, const CellSpec& cell,
+                         const std::string& owner, bool journal_existed) {
+  CLOVER_OBS_COUNT("campaign.claim_conflicts", 1);
+  obs::TriageContext triage;
+  triage.name = "campaign-claim-" + cell.Name();
+  triage.reason =
+      "campaign claim conflict: cell executed by two workers (claim stolen "
+      "mid-run). Output is unaffected — cells are deterministic — but the "
+      "claim TTL is tighter than this cell's duration, or hosts disagree "
+      "on the clock.";
+  triage.repro_command = CellReproCommand(spec);
+  triage.config = {
+      {"campaign", spec.name},
+      {"cell", cell.Name()},
+      {"owner", owner},
+      {"journal_existed", journal_existed ? "true" : "false"},
+  };
+  const std::string dir = obs::WriteTriageBundle(triage);
+  CLOVER_WARN("campaign: claim conflict on " << cell.Name()
+              << (dir.empty() ? "" : "; triage bundle " + dir));
+}
+
+}  // namespace
+
+CampaignResult RunCampaignWorker(const CampaignSpec& spec,
+                                 const WorkerOptions& options) {
+  CLOVER_CHECK_MSG(!spec.cells.empty(), "campaign has no cells");
+  CLOVER_CHECK_MSG(options.claim_ttl_s > 0.0,
+                   "claim TTL must be positive: " << options.claim_ttl_s);
+  fs::create_directories(options.out_dir + "/runs");
+
+  const std::string fingerprint =
+      FaultProfileFingerprint(spec.fault_profile);
+  const std::string owner =
+      options.worker_id.empty()
+          ? HostName() + "#" + std::to_string(::getpid())
+          : options.worker_id;
+  ClaimManager claims(spec.name, owner, options.claim_ttl_s);
+  // Lazy: fleet campaigns never need a harness.
+  std::unique_ptr<core::ExperimentHarness> harness;
+
+  const std::size_t n = spec.cells.size();
+  std::vector<std::optional<CellOutcome>> journaled(n);
+  int executed = 0;
+  const auto start = std::chrono::steady_clock::now();
+
+  auto has_journal = [&](std::size_t i) {
+    if (journaled[i].has_value()) return true;
+    std::optional<CellOutcome> loaded =
+        LoadJournal(JournalPath(options.out_dir, spec.cells[i]),
+                    spec.cells[i], fingerprint);
+    if (loaded) {
+      journaled[i] = std::move(*loaded);
+      return true;
+    }
+    return false;
+  };
+
+  // Work-or-wait loop: each pass claims and executes every unjournaled,
+  // unclaimed cell; when the only remaining cells belong to live peers,
+  // sleep a poll interval and re-scan (a peer's crash surfaces as a stale
+  // claim on some later pass).
+  for (;;) {
+    bool all_done = true;
+    bool progress = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (has_journal(i)) continue;
+      all_done = false;
+      const CellSpec& cell = spec.cells[i];
+      const std::string claim_path = ClaimPath(options.out_dir, cell);
+      if (!claims.TryClaim(claim_path, cell.Name())) continue;
+      if (has_journal(i)) {
+        // Raced a publisher between the scan and the claim: the cell is
+        // already committed; drop the claim.
+        claims.Release(claim_path);
+        progress = true;
+        continue;
+      }
+      if (!harness)
+        harness =
+            std::make_unique<core::ExperimentHarness>(&models::DefaultZoo());
+      CellOutcome outcome;
+      try {
+        outcome = ExecuteCell(spec, cell, harness.get());
+      } catch (const std::exception& error) {
+        // Leave the cell unclaimed and unjournaled: a peer will retry it,
+        // deterministically hit the same failure, and triage it too.
+        claims.Release(claim_path);
+        TriageCellFailure(spec, cell, error);
+      }
+      const std::string journal_path = JournalPath(options.out_dir, cell);
+      std::error_code ec;
+      const bool journal_existed = fs::exists(journal_path, ec) && !ec;
+      if (journal_existed || !claims.StillOwns(claim_path))
+        ReportClaimConflict(spec, cell, owner, journal_existed);
+      if (!journal_existed)
+        WriteJournal(journal_path, spec.name, fingerprint, outcome);
+      claims.Release(claim_path);
+      ++executed;
+      progress = true;
+      // journaled[i] stays empty: the next pass re-reads the committed
+      // journal from disk, so the fold below sees exactly what every other
+      // worker would see.
+    }
+    if (all_done) break;
+    if (!progress)
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::max(0.01, options.poll_interval_s)));
+  }
+
+  // FOLD. Every cell is journaled and journaled[] holds the decoded rows —
+  // all loaded from disk, never from this worker's in-memory outcomes, so
+  // which worker folds cannot matter. Zeroing the wall clocks (the one
+  // run-dependent journal field) makes the published bytes a pure function
+  // of the spec: byte-identical at any worker count, across crashes and
+  // re-executions, and between concurrent folders (whose atomic renames
+  // publish identical files).
+  CampaignResult result;
+  result.name = spec.name;
+  result.threads = spec.threads;
+  result.grid_cells = spec.grid_cells;
+  result.resumed_cells = static_cast<int>(n);
+  result.executed_cells = executed;
+  result.cells.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CLOVER_CHECK_MSG(journaled[i].has_value(),
+                     "cell " << spec.cells[i].Name()
+                             << " lost its journal before the fold");
+    CellOutcome outcome = std::move(*journaled[i]);
+    outcome.wall_seconds = 0.0;
+    result.cells[i] = std::move(outcome);
+  }
+  result.wall_seconds = SecondsSince(start);
+
+  result.suite.suite = spec.name;
+  result.suite.threads = spec.threads;
+  result.suite.seed = spec.cells.front().seed;
+  for (const CellOutcome& outcome : result.cells)
+    result.suite.scenarios.push_back(CellScenarioRow(outcome));
+
+  const std::vector<SummaryRow> summary = BuildSummary(result.cells);
+  result.consolidated_path =
+      options.out_dir + "/CAMPAIGN_" + spec.name + ".json";
+  WriteConsolidated(result.consolidated_path, spec, result, summary);
+  CLOVER_OBS_COUNT("campaign.folds", 1);
+  CLOVER_OBS_SAMPLE(result.wall_seconds);
+
+  if (options.print_tables) {
+    PrintSuiteTable(result.suite);
+    std::cout << "\n";
+    PrintSummaryTable(summary);
+  }
+  return result;
+}
+
+}  // namespace clover::exp

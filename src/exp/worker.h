@@ -1,0 +1,71 @@
+// Multi-process campaign execution: N cooperating workers — forked by
+// `clover_campaign run --workers N`, or joined from other shells/hosts
+// with `clover_campaign worker <spec>` — share one <out>/runs/ directory
+// and divide a campaign's cells between them with no coordinator process.
+//
+// The protocol (specified in docs/CAMPAIGNS.md) is built entirely from two
+// atomic filesystem operations, so it works on any shared POSIX
+// filesystem:
+//
+//   CLAIM    Before executing a cell, a worker creates
+//            runs/.claim-<cell>.json with O_CREAT|O_EXCL — of N racing
+//            workers exactly one wins. The claim carries the owner token,
+//            pid, host and a heartbeat timestamp, refreshed from a
+//            background thread every ttl/4 while the cell runs.
+//   STEAL    A claim whose heartbeat is older than the TTL belongs to a
+//            crashed (or stopped) worker. A stealer atomically renames the
+//            stale claim away — only one concurrent stealer's rename
+//            succeeds — and then re-claims the cell, so a killed worker's
+//            cells get re-executed rather than lost.
+//   COMMIT   A finished cell is journaled with tmp + rename
+//            (exp/journal.h): the journal's existence is the commit, and
+//            claims of journaled cells are deleted.
+//   FOLD     Any worker that observes every cell journaled loads all
+//            journals and publishes CAMPAIGN_<name>.json. The fold is
+//            wall-clock-free (timing columns zeroed, threads pinned to the
+//            spec's value, every row rebuilt from its journal), so the
+//            consolidated file is byte-identical regardless of worker
+//            count, interleaving, crashes, or which worker folds —
+//            concurrent folds publish identical bytes through atomic
+//            renames and cannot tear.
+//
+// Conflicts: if a worker was stalled past the TTL, lost its claim to a
+// stealer, and both executed the cell, results are still identical (cells
+// are deterministic functions of the spec), but the event is counted
+// (campaign.claim_conflicts) and leaves a triage bundle — a conflict means
+// the TTL is too tight for the cell duration or the clock skew between
+// hosts.
+//
+// Every worker must be given the same expanded spec (same file contents);
+// the journal/fingerprint checks reject mismatched fault profiles but
+// cannot detect every divergence.
+#pragma once
+
+#include <string>
+
+#include "exp/runner.h"
+
+namespace clover::exp {
+
+struct WorkerOptions {
+  std::string out_dir = "campaign_out";
+  // Claims with heartbeats older than this are stolen. Must exceed the
+  // worst-case heartbeat-write stall and any cross-host clock skew.
+  double claim_ttl_s = 30.0;
+  // Idle re-scan interval while other workers hold the remaining cells.
+  double poll_interval_s = 0.2;
+  bool print_tables = false;
+  // Identity embedded in claims; defaults to "<host>#<pid>".
+  std::string worker_id;
+};
+
+// Runs one worker to completion: claims and executes unjournaled cells,
+// waits for cells owned by live peers, steals from dead ones, and folds
+// the consolidated output once every cell is journaled. Returns the folded
+// result (resumed_cells == cells.size() by construction: every row is
+// rebuilt from its journal so all workers fold identical bytes). Throws on
+// the first failing cell, after writing its triage bundle.
+CampaignResult RunCampaignWorker(const CampaignSpec& spec,
+                                 const WorkerOptions& options);
+
+}  // namespace clover::exp

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "common/fs.h"
 #include "common/json.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -103,9 +104,11 @@ void WriteEnvFingerprint(JsonWriter* w) {
 }
 
 bool WriteBundleJson(const fs::path& path, const TriageContext& context) {
-  std::ofstream out(path);
-  if (!out) return false;
-  JsonWriter w(&out);
+  // tmp + rename publication like every other results JSON: a CI artifact
+  // collector racing the failing process never ships a torn bundle.json.
+  AtomicFileWriter out(path.string());
+  if (!out.good()) return false;
+  JsonWriter w(&out.stream());
   w.BeginObject();
   w.Key("schema");
   w.String("clover-triage-v1");
@@ -129,8 +132,12 @@ bool WriteBundleJson(const fs::path& path, const TriageContext& context) {
   w.Key("env");
   WriteEnvFingerprint(&w);
   w.EndObject();
-  out.flush();
-  return static_cast<bool>(out);
+  try {
+    out.Commit();
+  } catch (const std::exception&) {
+    return false;  // triage is best-effort by contract
+  }
+  return true;
 }
 
 bool WriteReproScript(const fs::path& path, const TriageContext& context) {

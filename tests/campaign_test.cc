@@ -4,6 +4,7 @@
 // is bit-identical to the direct harness path (the same six runs the fig09
 // bench executes), at 1 and at 8 threads.
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -15,6 +16,7 @@
 #include "carbon/trace_generator.h"
 #include "common/json.h"
 #include "exp/campaign.h"
+#include "exp/journal.h"
 #include "exp/runner.h"
 #include "models/zoo.h"
 
@@ -427,6 +429,101 @@ TEST(CampaignRunnerTest, ResumeRejectsJournalsFromAnEditedFaultProfile) {
   EXPECT_EQ(edited.resumed_cells, 1);
   EXPECT_TRUE(edited.cells[0].resumed);
   EXPECT_FALSE(edited.cells[1].resumed);
+}
+
+// ---------------------------------------------------------------------------
+// Journal robustness: the LoadJournal recovery contract (any
+// std::exception while reading a journal means "re-run the cell", never
+// "abort the campaign").
+// ---------------------------------------------------------------------------
+
+TEST(CampaignJournalTest, TypeMismatchedJournalRerunsTheCellNotTheAbort) {
+  // Regression: LoadJournal used to catch only JsonParseError, so a
+  // journal that parses fine but decodes to the wrong shape (here:
+  // "candidates" as a string) surfaced as a CheckError and killed the
+  // whole resume instead of re-running one cell.
+  const CampaignSpec spec = TinyCampaign();
+  const std::string out_dir =
+      ::testing::TempDir() + "/campaign_badtype_test";
+  std::filesystem::remove_all(out_dir);
+
+  CampaignOptions options;
+  options.out_dir = out_dir;
+  options.threads = 1;
+  const CampaignResult first = RunCampaign(spec, options);
+
+  const std::string path = out_dir + "/runs/" + spec.cells[0].Name() +
+                           ".json";
+  std::string content;
+  {
+    std::ifstream in(path);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  const std::string needle = "\"candidates\":";
+  const std::size_t at = content.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t value_end = content.find(',', at);
+  ASSERT_NE(value_end, std::string::npos);
+  content.replace(at, value_end - at, needle + "\"not a number\"");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+
+  EXPECT_EQ(LoadJournal(path, spec.cells[0],
+                        FaultProfileFingerprint(spec.fault_profile)),
+            std::nullopt);
+
+  options.resume = true;
+  const CampaignResult second = RunCampaign(spec, options);
+  EXPECT_EQ(second.resumed_cells, 3);
+  EXPECT_TRUE(core::RunReportsBitIdentical(first.cells[0].report,
+                                           second.cells[0].report));
+}
+
+TEST(CampaignJournalTest, JournalPathBeingADirectoryIsDiscarded) {
+  // A directory squatting on the journal path throws a filesystem_error
+  // (not a JsonParseError) when opened; that too must mean "no journal".
+  const CampaignSpec spec = TinyCampaign();
+  const std::string out_dir = ::testing::TempDir() + "/campaign_dir_test";
+  std::filesystem::remove_all(out_dir);
+  const std::string path = JournalPath(out_dir, spec.cells[0]);
+  std::filesystem::create_directories(path);
+  EXPECT_EQ(LoadJournal(path, spec.cells[0],
+                        FaultProfileFingerprint(spec.fault_profile)),
+            std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Triage repro commands: embedded paths are shell-quoted and the triage
+// root is carried through, so the printed one-liner works verbatim.
+// ---------------------------------------------------------------------------
+
+TEST(CampaignReproTest, ReproCommandQuotesPathsAndCarriesTriageDir) {
+  CampaignSpec spec = TinyCampaign();
+  spec.source_path = "campaigns/o'brien toy.json";
+
+  ::unsetenv("CLOVER_TRIAGE_DIR");
+  const std::string plain = CellReproCommand(spec);
+  // POSIX single-quote splice for the apostrophe; spaces stay inside the
+  // quotes. Unquoted, this path would split into two argv words and the
+  // quote would open an unterminated string.
+  EXPECT_NE(plain.find("'campaigns/o'\\''brien toy.json'"),
+            std::string::npos)
+      << plain;
+  EXPECT_NE(plain.find("CLOVER_TRIAGE_DIR='triage/repro'"),
+            std::string::npos)
+      << plain;
+
+  ::setenv("CLOVER_TRIAGE_DIR", "/tmp/triage out", 1);
+  const std::string with_env = CellReproCommand(spec);
+  ::unsetenv("CLOVER_TRIAGE_DIR");
+  // The repro must inherit the operator's triage root (re-rooted under
+  // /repro so the re-run cannot clobber the bundle it came from).
+  EXPECT_NE(with_env.find("CLOVER_TRIAGE_DIR='/tmp/triage out/repro'"),
+            std::string::npos)
+      << with_env;
 }
 
 // ---------------------------------------------------------------------------
