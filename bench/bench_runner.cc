@@ -42,6 +42,12 @@
 //                    carbon-greedy global router vs the static split;
 //                    reports the spatial gCO2 saving and checks the fleet
 //                    bit-identity contract (--threads vs 1 thread)
+//   meanfield_fleet  the fluid fidelity tier at planet scale: the four
+//                    region presets tiled into a replica fleet (100
+//                    regions smoke / 1000 full) under carbon-greedy
+//                    routing via fleet::RunFleetMeanField; reports
+//                    regions/sec in the notes and replays a twin to
+//                    enforce the tier's bit-identity contract
 //   live_serving     the epoll serving front-end end to end: replays the
 //                    trace-derived schedule over loopback TCP in flood
 //                    mode (core/live_service.h); reports wire req/s and
@@ -81,6 +87,7 @@
 #include "exp/campaign.h"
 #include "exp/runner.h"
 #include "fleet/fleet_sim.h"
+#include "fleet/meanfield_fleet.h"
 #include "graph/neighbors.h"
 #include "models/zoo.h"
 #include "obs/metrics.h"
@@ -167,6 +174,7 @@ struct SuiteScale {
   double shard_seconds = 600.0;     // sharded_sim span
   int screen_factor = 16;           // opt_screened oversampling factor
   double live_hours = 0.25;         // live_serving span (virtual)
+  int mf_replicas = 25;             // meanfield_fleet: 4 presets tiled
 };
 
 SuiteScale ScaleFor(const std::string& suite) {
@@ -181,6 +189,7 @@ SuiteScale ScaleFor(const std::string& suite) {
     scale.shard_lanes = 16;
     scale.shard_seconds = 3600.0;
     scale.live_hours = 1.0;
+    scale.mf_replicas = 250;  // the ISSUE's 1000-region acceptance cell
   }
   return scale;
 }
@@ -596,6 +605,56 @@ ScenarioTiming RunFleetRouting(const RunnerFlags& flags,
 }
 
 // ---------------------------------------------------------------------------
+// meanfield_fleet: the fluid fidelity tier at planet scale.
+// ---------------------------------------------------------------------------
+// Builds the cell through exp::MakeFleetCellConfig — the exact path the
+// nightly 1000-region campaign (campaigns/fleet_1000region_toy.json) takes
+// — so the bench measures what the campaign pays, replica tiling included.
+ScenarioTiming RunMeanFieldFleet(const RunnerFlags& flags,
+                                 const SuiteScale& scale) {
+  exp::CellSpec cell;
+  cell.mode = exp::CampaignMode::kFleet;
+  cell.scheme = core::Scheme::kBase;
+  cell.app = models::Application::kClassification;
+  cell.regions = {"us-west", "us-east", "eu-west", "ap-northeast"};
+  cell.router = fleet::RouterPolicy::kCarbonGreedy;
+  cell.meanfield = true;
+  cell.region_replicas = scale.mf_replicas;
+  cell.gpus = scale.fleet_gpus;
+  cell.hours = scale.fleet_hours;
+  cell.seed = flags.seed;
+  const fleet::FleetConfig config = exp::MakeFleetCellConfig(cell);
+  const models::ModelZoo& zoo = models::DefaultZoo();
+
+  WallTimer timer;
+  const fleet::FleetReport run = fleet::RunFleetMeanField(config, zoo);
+  const double wall = timer.Seconds();
+  // The fluid tier is RNG-free past trace generation, so a twin run must
+  // reproduce the report bit for bit — same gate the unit test pins.
+  const fleet::FleetReport twin = fleet::RunFleetMeanField(config, zoo);
+
+  ScenarioTiming timing;
+  timing.name = "meanfield_fleet";
+  timing.wall_seconds = wall;
+  timing.events = run.fleet.sim_events;
+  timing.events_per_sec =
+      wall > 0.0 ? static_cast<double>(timing.events) / wall : 0.0;
+  timing.sim_p50_ms = run.fleet.overall_p50_ms;
+  timing.sim_p99_ms = run.fleet.overall_p99_ms;
+  timing.deterministic = fleet::FleetReportsBitIdentical(run, twin);
+  const double regions_per_sec =
+      wall > 0.0 ? static_cast<double>(run.regions.size()) / wall : 0.0;
+  timing.notes = std::to_string(run.regions.size()) +
+                 " fluid regions (4 presets x " +
+                 std::to_string(scale.mf_replicas) + "), carbon-greedy, " +
+                 TextTable::Num(scale.fleet_hours, 1) + " h; " +
+                 TextTable::Num(regions_per_sec, 1) + " regions/s, served " +
+                 std::to_string(run.fleet.completions) + " of " +
+                 std::to_string(run.fleet.arrivals);
+  return timing;
+}
+
+// ---------------------------------------------------------------------------
 // live_serving: the epoll front end + replay client over loopback TCP.
 // ---------------------------------------------------------------------------
 ScenarioTiming RunLiveServing(const RunnerFlags& flags,
@@ -839,6 +898,7 @@ int main(int argc, char** argv) {
   }
 
   suite.scenarios.push_back(bench::RunFleetRouting(flags, scale));
+  suite.scenarios.push_back(bench::RunMeanFieldFleet(flags, scale));
   suite.scenarios.push_back(bench::RunLiveServing(flags, scale, flat));
   suite.scenarios.push_back(bench::RunObsOverhead(flags, scale, flat));
 

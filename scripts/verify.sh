@@ -32,26 +32,31 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-# Perf baseline: the bench_runner_smoke ctest above already ran the smoke
-# suite (fleet_routing + fault_recovery + the campaign-routed e2e_step +
-# the loopback live_serving run included) and wrote its JSON; validate the schema and required scenarios
-# and soft-gate against the committed baseline (regressions beyond the
-# tolerance print warnings, never fail — mirrors the CI step). The
-# committed baseline is Release-built, so — like CI — the compare only
-# runs for Release build dirs; Debug numbers would warn on every run.
+# The gate's own regression tests, then the perf baseline: the
+# bench_runner_smoke ctest above already ran the smoke suite
+# (fleet_routing + fault_recovery + the campaign-routed e2e_step + the
+# fluid meanfield_fleet + the loopback live_serving run included) and
+# wrote its JSON; validate the schema and required scenarios and hard-gate
+# against the committed baseline (regressions beyond the per-scenario
+# tolerance fail when host_cores match the baseline's; the validator
+# demotes them to warnings on different hardware — mirrors the CI step).
+# The committed baseline is Release-built, so — like CI — the compare only
+# runs for Release build dirs; Debug numbers would trip on every run.
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
   "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
 BASELINE_ARGS=()
 if [[ "${BUILD_TYPE:-Release}" == "Release" ]]; then
-  BASELINE_ARGS=(--baseline BENCH_smoke.json --tolerance 25)
+  BASELINE_ARGS=(--baseline BENCH_smoke.json --tolerance 25 --hard)
 fi
 if command -v python3 >/dev/null; then
+  python3 scripts/test_validate_bench_json.py
   python3 scripts/validate_bench_json.py \
     --require-scenario fleet_routing \
     --require-scenario fault_recovery \
     --require-scenario e2e_step \
     --require-scenario sharded_sim \
     --require-scenario opt_screened \
+    --require-scenario meanfield_fleet \
     --require-scenario live_serving \
     --require-scenario obs_overhead \
     ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} \

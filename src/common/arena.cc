@@ -1,0 +1,47 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace clover {
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(std::max<std::size_t>(block_bytes, 64)) {}
+
+void* Arena::AllocateSlow(std::size_t bytes, std::size_t align) {
+  CLOVER_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                   "arena alignment must be a power of two");
+  CLOVER_CHECK_MSG(align <= alignof(std::max_align_t),
+                   "arena alignment capped at alignof(max_align_t)");
+  // Advance through retained blocks (a Reset() keeps them all); take the
+  // first that fits, else append one. Block bases come from operator new[]
+  // and are max_align_t-aligned, so an aligned offset is an aligned address.
+  while (current_ + 1 < blocks_.size()) {
+    ++current_;
+    offset_ = 0;
+    if (bytes <= blocks_[current_].size) {
+      offset_ = bytes;
+      bytes_used_ += bytes;
+      return blocks_[current_].data.get();
+    }
+  }
+  const std::size_t want = std::max(block_bytes_, bytes);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(want);
+  block.size = want;
+  bytes_reserved_ += want;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  offset_ = bytes;
+  bytes_used_ += bytes;
+  return blocks_[current_].data.get();
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace clover

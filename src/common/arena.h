@@ -1,0 +1,89 @@
+// Bump-pointer arena for short-lived allocations on simulation hot paths.
+//
+// The simulator allocates small transient arrays (fault retry batches,
+// reconfiguration masks, window scratch) whose lifetimes never cross a
+// control-window boundary. A bump arena turns each of those into a pointer
+// increment: blocks are malloc'd once, then Reset() rewinds the cursor at the
+// window edge and the same memory is reused for the next window. Nothing is
+// freed until the arena is destroyed, so pointers stay valid between
+// Allocate() and the next Reset() — never longer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace clover {
+
+class Arena {
+ public:
+  // `block_bytes` is the granularity of backing allocations; oversized
+  // requests get a dedicated block of exactly the requested size.
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // Raw allocation, aligned to `align` (power of two, capped at
+  // alignof(max_align_t) — block bases come from operator new[]).
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  // Typed uninitialized array of `count` elements. T must be trivially
+  // destructible: Reset() never runs destructors.
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Rewind to empty, keeping every block for reuse. O(1) amortized: after the
+  // first window has sized the arena, later windows allocate from block 0
+  // onward without touching malloc.
+  void Reset();
+
+  // Bytes handed out since the last Reset().
+  std::size_t bytes_used() const { return bytes_used_; }
+  // Total bytes of backing capacity across all blocks.
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  // Moves the cursor to a block with at least `bytes` free, appending a new
+  // block if every existing one (from current_ onward) is too small.
+  void* AllocateSlow(std::size_t bytes, std::size_t align);
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // index of the block the cursor lives in
+  std::size_t offset_ = 0;   // bump offset within blocks_[current_]
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+inline void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (!blocks_.empty()) {
+    const std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+    if (aligned + bytes <= blocks_[current_].size) {
+      offset_ = aligned + bytes;
+      bytes_used_ += bytes;
+      return blocks_[current_].data.get() + aligned;
+    }
+  }
+  return AllocateSlow(bytes, align);
+}
+
+}  // namespace clover

@@ -61,8 +61,83 @@ std::uint64_t RngStream::NextBounded(std::uint64_t bound) {
 
 double RngStream::NextExponential(double rate) {
   CLOVER_DCHECK(rate > 0.0);
-  // -log(1-u) with u in [0,1) avoids log(0).
-  return -std::log1p(-NextDouble()) / rate;
+  return NextUnitExponential() / rate;
+}
+
+double RngStream::NextUnitExponential() {
+  // -log(1-u) with u in [0,1) avoids log(0). IEEE division is exact per
+  // operand pair, so NextUnitExponential()/rate == NextExponential(rate)
+  // bit for bit — the contract batched consumers rely on.
+  return -std::log1p(-NextDouble());
+}
+
+namespace {
+
+// Marsaglia–Tsang ziggurat tables for the standard normal, widened to the
+// full 64-bit lane (m1 = 2^63): 128 rectangles of equal area vn capped by
+// the tail at dn. Built once before main() (namespace-scope initializer) so
+// no call ever pays the setup or a static-local guard.
+struct GaussianZiggurat {
+  std::uint64_t kn[128];  // acceptance thresholds on |hz|
+  double wn[128];         // raw int64 -> x scale per layer
+  double fn[128];         // density at each layer edge
+};
+
+GaussianZiggurat BuildGaussianZiggurat() {
+  GaussianZiggurat z{};
+  const double m1 = 9223372036854775808.0;  // 2^63
+  double dn = 3.442619855899;               // tail start r
+  double tn = dn;
+  const double vn = 9.91256303526217e-3;    // per-layer area
+  const double q = vn / std::exp(-0.5 * dn * dn);
+  z.kn[0] = static_cast<std::uint64_t>((dn / q) * m1);
+  z.kn[1] = 0;
+  z.wn[0] = q / m1;
+  z.wn[127] = dn / m1;
+  z.fn[0] = 1.0;
+  z.fn[127] = std::exp(-0.5 * dn * dn);
+  for (int i = 126; i >= 1; --i) {
+    dn = std::sqrt(-2.0 * std::log(vn / dn + std::exp(-0.5 * dn * dn)));
+    z.kn[i + 1] = static_cast<std::uint64_t>((dn / tn) * m1);
+    tn = dn;
+    z.fn[i] = std::exp(-0.5 * dn * dn);
+    z.wn[i] = dn / m1;
+  }
+  return z;
+}
+
+const GaussianZiggurat kZig = BuildGaussianZiggurat();
+
+}  // namespace
+
+double RngStream::NextGaussianFast() {
+  for (;;) {
+    const std::int64_t hz = static_cast<std::int64_t>(Next());
+    const std::size_t iz = static_cast<std::size_t>(hz) & 127;
+    // Two's-complement negate in unsigned space handles INT64_MIN cleanly.
+    const std::uint64_t az =
+        hz < 0 ? 0 - static_cast<std::uint64_t>(hz)
+               : static_cast<std::uint64_t>(hz);
+    if (az < kZig.kn[iz]) return static_cast<double>(hz) * kZig.wn[iz];
+
+    if (iz == 0) {
+      // Tail beyond r: Marsaglia's exponential-rejection tail sampler.
+      const double r = 3.442619855899;
+      double x;
+      double y;
+      do {
+        x = NextUnitExponential() / r;
+        y = NextUnitExponential();
+      } while (y + y < x * x);
+      return hz > 0 ? r + x : -(r + x);
+    }
+    // Wedge: accept against the true density between layer edges.
+    const double x = static_cast<double>(hz) * kZig.wn[iz];
+    if (kZig.fn[iz] + NextDouble() * (kZig.fn[iz - 1] - kZig.fn[iz]) <
+        std::exp(-0.5 * x * x)) {
+      return x;
+    }
+  }
 }
 
 double RngStream::NextGaussian() {

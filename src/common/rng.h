@@ -49,8 +49,21 @@ class RngStream {
   // Used by the Poisson arrival process for inter-arrival gaps.
   double NextExponential(double rate);
 
+  // Unit-rate exponential sample: NextExponential(rate) is exactly
+  // NextUnitExponential() / rate, bit for bit. Lets consumers pre-draw gap
+  // batches and apply a (possibly later-changing) rate at consumption time
+  // without perturbing the stream.
+  double NextUnitExponential();
+
   // Standard normal via Box–Muller (caches the second deviate).
   double NextGaussian();
+
+  // Standard normal via a 128-layer ziggurat: exact (rejection from the true
+  // density, not an approximation), ~5x faster than Box–Muller, but a
+  // *different* deterministic sequence. The simulator's per-request service
+  // jitter uses this; slow-path consumers (trace generation) keep
+  // NextGaussian() so their sequences are unchanged.
+  double NextGaussianFast();
 
  private:
   std::uint64_t s_[4];

@@ -26,10 +26,15 @@ double RunReport::P95NormVs(const RunReport& base) const {
   return overall_p95_ms / base.overall_p95_ms;
 }
 
-void FillRunReportFromSim(const sim::ClusterSim& sim,
-                          const opt::ObjectiveParams& params,
-                          double fallback_energy_per_request_j,
-                          RunReport* report) {
+namespace {
+
+// Both fidelity tiers expose the same report taps; one template keeps the
+// fills from drifting apart.
+template <typename Sim>
+void FillRunReportFromSimImpl(const Sim& sim,
+                              const opt::ObjectiveParams& params,
+                              double fallback_energy_per_request_j,
+                              RunReport* report) {
   report->arrivals = sim.total_arrivals();
   report->completions = sim.total_completions();
   report->total_energy_j = sim.total_energy_j();
@@ -57,6 +62,24 @@ void FillRunReportFromSim(const sim::ClusterSim& sim,
     report->objective_series.push_back(
         opt::ObjectiveF(metrics, params, window.ci));
   }
+}
+
+}  // namespace
+
+void FillRunReportFromSim(const sim::ClusterSim& sim,
+                          const opt::ObjectiveParams& params,
+                          double fallback_energy_per_request_j,
+                          RunReport* report) {
+  FillRunReportFromSimImpl(sim, params, fallback_energy_per_request_j,
+                           report);
+}
+
+void FillRunReportFromSim(const sim::MeanFieldSim& sim,
+                          const opt::ObjectiveParams& params,
+                          double fallback_energy_per_request_j,
+                          RunReport* report) {
+  FillRunReportFromSimImpl(sim, params, fallback_energy_per_request_j,
+                           report);
 }
 
 bool RunReportsBitIdentical(const RunReport& a, const RunReport& b) {

@@ -20,6 +20,7 @@
 #include "models/zoo.h"
 #include "opt/objective.h"
 #include "sim/cluster_sim.h"
+#include "sim/meanfield.h"
 
 namespace clover::core {
 
@@ -109,6 +110,14 @@ struct RunReport {
 // bookkeeping stay with the caller. Shared by the single-cluster harness
 // and the fleet's per-region reports so the two can never drift.
 void FillRunReportFromSim(const sim::ClusterSim& sim,
+                          const opt::ObjectiveParams& params,
+                          double fallback_energy_per_request_j,
+                          RunReport* report);
+
+// Same fill from the mean-field fidelity tier (sim/meanfield.h): the fluid
+// regions of a fleet fast-path run produce the identical report shape, so
+// downstream aggregation and report rendering cannot tell the tiers apart.
+void FillRunReportFromSim(const sim::MeanFieldSim& sim,
                           const opt::ObjectiveParams& params,
                           double fallback_energy_per_request_j,
                           RunReport* report);

@@ -122,6 +122,8 @@ std::string CellSpec::Name() const {
   name += "-s" + std::to_string(seed);
   if (fault_seed != 0) name += "-f" + std::to_string(fault_seed);
   if (screen != 1) name += "-x" + std::to_string(screen);
+  if (region_replicas != 1) name += "-r" + std::to_string(region_replicas);
+  if (meanfield) name += "-mf";
   return name;
 }
 
@@ -135,9 +137,12 @@ std::string CellSpec::Describe() const {
       if (i) text += " + ";
       text += regions[i];
     }
+    if (region_replicas != 1)
+      text += " x " + std::to_string(region_replicas);
     text += ") under ";
     text += RouterToken(router);
     text += ", " + std::to_string(gpus) + " GPUs/region";
+    if (meanfield) text += ", mean-field";
   } else {
     text += " on " + trace + ", " + std::to_string(gpus) + " GPUs";
     if (sizing_gpus != 0 && sizing_gpus != gpus)
@@ -155,7 +160,8 @@ std::string CellSpec::Describe() const {
 bool operator==(const CellSpec& a, const CellSpec& b) {
   return a.mode == b.mode && a.scheme == b.scheme && a.app == b.app &&
          a.trace == b.trace && a.regions == b.regions &&
-         a.router == b.router && a.gpus == b.gpus &&
+         a.router == b.router && a.meanfield == b.meanfield &&
+         a.region_replicas == b.region_replicas && a.gpus == b.gpus &&
          a.sizing_gpus == b.sizing_gpus && a.hours == b.hours &&
          a.lambda == b.lambda &&
          a.accuracy_limit_pct == b.accuracy_limit_pct &&
@@ -352,6 +358,8 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
       {"trace", true, false},
       {"regions", false, true},
       {"router", false, true},
+      {"fidelity", false, true},
+      {"region_replicas", false, true},
       {"gpus", false, false},
       {"sizing_gpus", true, false},
       {"hours", false, false},
@@ -401,6 +409,8 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
 
   std::vector<std::vector<std::string>> region_lists;
   std::vector<fleet::RouterPolicy> routers;
+  std::vector<bool> fidelities;
+  std::vector<int> replica_counts;
   if (fleet_mode) {
     const JsonValue* regions = grid.Find("regions");
     if (regions == nullptr)
@@ -413,9 +423,33 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
     for (const JsonValue* value : axis("router"))
       routers.push_back(ParseRouter(*value));
     if (routers.empty()) routers.push_back(fleet::RouterPolicy::kStatic);
+    for (const JsonValue* value : axis("fidelity")) {
+      const std::string& token = value->AsString();
+      if (token == "sim") {
+        fidelities.push_back(false);
+      } else if (token == "meanfield") {
+        // The fluid tier runs static schemes only; the grid is a cross
+        // product, so any adaptive scheme on the scheme axis would produce
+        // invalid (meanfield, adaptive) cells.
+        for (const core::Scheme scheme : schemes)
+          if (scheme != core::Scheme::kBase)
+            value->Fail("fidelity \"meanfield\" requires scheme base");
+        fidelities.push_back(true);
+      } else {
+        value->Fail("unknown fidelity \"" + token +
+                    "\" (want sim|meanfield)");
+      }
+    }
+    if (fidelities.empty()) fidelities.push_back(false);
+    for (const JsonValue* value : axis("region_replicas"))
+      replica_counts.push_back(
+          ParseIntIn(*value, 1, 512, "region_replicas"));
+    if (replica_counts.empty()) replica_counts.push_back(1);
   } else {
     region_lists.push_back({});
     routers.push_back(fleet::RouterPolicy::kStatic);
+    fidelities.push_back(false);
+    replica_counts.push_back(1);
   }
 
   std::vector<int> gpus;
@@ -483,27 +517,34 @@ CampaignSpec ParseCampaignSpec(const JsonValue& doc) {
                     for (const std::uint64_t seed : seeds) {
                       for (const std::uint64_t fault_seed : fault_seeds) {
                         for (const int screen : screens) {
-                          for (const fleet::RouterPolicy router : routers) {
-                            for (const core::Scheme scheme : schemes) {
-                              CellSpec cell;
-                              cell.mode = spec.mode;
-                              cell.scheme = scheme;
-                              cell.app = app;
-                              cell.trace = fleet_mode ? "" : trace;
-                              cell.regions = regions;
-                              cell.router = router;
-                              cell.gpus = g;
-                              cell.sizing_gpus = z == g ? 0 : z;
-                              cell.hours = h;
-                              cell.lambda = l;
-                              cell.accuracy_limit_pct = limit;
-                              cell.control_interval_s = interval;
-                              cell.seed = seed;
-                              cell.fault_seed = fault_seed;
-                              cell.screen = screen;
-                              ++spec.grid_cells;
-                              if (seen.insert(cell.Name()).second)
-                                spec.cells.push_back(std::move(cell));
+                          for (const int replicas : replica_counts) {
+                            for (const bool meanfield : fidelities) {
+                              for (const fleet::RouterPolicy router :
+                                   routers) {
+                                for (const core::Scheme scheme : schemes) {
+                                  CellSpec cell;
+                                  cell.mode = spec.mode;
+                                  cell.scheme = scheme;
+                                  cell.app = app;
+                                  cell.trace = fleet_mode ? "" : trace;
+                                  cell.regions = regions;
+                                  cell.router = router;
+                                  cell.meanfield = meanfield;
+                                  cell.region_replicas = replicas;
+                                  cell.gpus = g;
+                                  cell.sizing_gpus = z == g ? 0 : z;
+                                  cell.hours = h;
+                                  cell.lambda = l;
+                                  cell.accuracy_limit_pct = limit;
+                                  cell.control_interval_s = interval;
+                                  cell.seed = seed;
+                                  cell.fault_seed = fault_seed;
+                                  cell.screen = screen;
+                                  ++spec.grid_cells;
+                                  if (seen.insert(cell.Name()).second)
+                                    spec.cells.push_back(std::move(cell));
+                                }
+                              }
                             }
                           }
                         }
@@ -593,6 +634,24 @@ fleet::FleetConfig MakeFleetCellConfig(const CellSpec& cell) {
   fleet::FleetConfig config;
   config.app = cell.app;
   config.regions = fleet::RegionsFromPresets(cell.regions, cell.gpus);
+  if (cell.region_replicas > 1) {
+    // Tile the preset list replica-major. Replica k of preset p is renamed
+    // "p.k" — the trace generator derives its noise stream from the region
+    // name, so replicas share a grid's *shape* but diverge in noise, the
+    // way neighboring zones on one grid do. Penalties repeat the base
+    // list's (replicas of p sit at p's network distance).
+    std::vector<fleet::RegionConfig> tiled;
+    tiled.reserve(config.regions.size() *
+                  static_cast<std::size_t>(cell.region_replicas));
+    for (int k = 0; k < cell.region_replicas; ++k) {
+      for (const fleet::RegionConfig& base : config.regions) {
+        fleet::RegionConfig replica = base;
+        replica.preset.name += "." + std::to_string(k);
+        tiled.push_back(std::move(replica));
+      }
+    }
+    config.regions = std::move(tiled);
+  }
   config.duration_hours = cell.hours;
   config.control_interval_s = cell.control_interval_s;
   config.scheme = cell.scheme;

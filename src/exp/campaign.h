@@ -42,6 +42,12 @@
 //   regions    array of region-preset name lists, e.g.
 //              [["us-west", "ap-northeast"]]
 //   router     static | least-loaded | carbon-greedy
+//   fidelity   sim (discrete-event regions, the default) | meanfield
+//              (fluid regions via fleet::RunFleetMeanField — requires
+//              scheme base; the planet-scale fast path)
+//   region_replicas  tiles the region list N times (replica k of preset p
+//              is named "p.k" and draws its own trace noise stream), so a
+//              4-preset list at 250 replicas is a 1000-region fleet
 //   scheme, app, gpus (per region), hours, lambda, seed, screen as above
 //
 // Expansion is a cross product in a fixed documented axis order (scheme
@@ -79,6 +85,10 @@ struct CellSpec {
   std::string trace = "ciso-march";       // single-cluster: trace preset
   std::vector<std::string> regions;       // fleet: region preset names
   fleet::RouterPolicy router = fleet::RouterPolicy::kStatic;  // fleet only
+  // Fleet fidelity tier: false = discrete-event regions (RunFleet), true =
+  // fluid regions (RunFleetMeanField; base scheme only).
+  bool meanfield = false;
+  int region_replicas = 1;                // fleet: tiles the region list
   int gpus = 2;                           // per region in fleet mode
   int sizing_gpus = 0;                    // 0 -> gpus (single-cluster only)
   double hours = 1.0;

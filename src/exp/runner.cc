@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "common/thread_pool.h"
 #include "exp/journal.h"
+#include "fleet/meanfield_fleet.h"
 #include "models/zoo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -102,8 +103,14 @@ CellOutcome ExecuteCell(const CampaignSpec& spec, const CellSpec& cell,
   }
   const auto start = std::chrono::steady_clock::now();
   if (cell.mode == CampaignMode::kFleet) {
+    // The fidelity axis picks the region tier: discrete-event RunFleet or
+    // the fluid fast path (the only way a 1000-region cell is tractable).
     const fleet::FleetReport fleet_report =
-        fleet::RunFleet(MakeFleetCellConfig(cell), models::DefaultZoo());
+        cell.meanfield
+            ? fleet::RunFleetMeanField(MakeFleetCellConfig(cell),
+                                       models::DefaultZoo())
+            : fleet::RunFleet(MakeFleetCellConfig(cell),
+                              models::DefaultZoo());
     outcome.report = fleet_report.fleet;
     for (const fleet::RegionReport& region : fleet_report.regions)
       outcome.candidates += CountCandidates(region.report);

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/quantile.h"
 #include "common/units.h"
+#include "fleet/aggregate.h"
 #include "perf/calibration.h"
 #include "sim/arrivals.h"
 
@@ -172,128 +173,30 @@ FleetReport RunFleet(const FleetConfig& config, const models::ModelZoo& zoo) {
   }
 
   // Fleet aggregate: sums over regions; latency from the merged per-region
-  // distributions, each shifted by its network penalty.
+  // distributions, each shifted by its network penalty. The arithmetic
+  // lives in fleet/aggregate.h so the mean-field fast path reuses it.
   core::RunReport& fleet = fleet_report.fleet;
   fleet.app = config.app;
   fleet.scheme = config.scheme;
   fleet.arrival_rate_qps = total_qps;
   fleet.params = params;
-  LogHistogramQuantile merged_latency;
-  std::size_t window_count = std::numeric_limits<std::size_t>::max();
+  std::vector<RegionAggregateView> views;
+  views.reserve(regions.size());
   for (std::size_t i = 0; i < regions.size(); ++i) {
-    const core::RunReport& region = fleet_report.regions[i].report;
-    fleet.arrivals += region.arrivals;
-    fleet.completions += region.completions;
-    fleet.total_energy_j += region.total_energy_j;
-    fleet.total_carbon_g += region.total_carbon_g;
-    fleet.weighted_accuracy +=
-        region.weighted_accuracy * static_cast<double>(region.completions);
-    fleet.sim_events += region.sim_events;
-    fleet.optimization_seconds += region.optimization_seconds;
-    merged_latency.MergeShifted(regions[i]->sim().latency_histogram(),
-                                regions[i]->latency_penalty_ms());
-    window_count = std::min(window_count, region.windows.size());
+    RegionAggregateView view;
+    view.report = &fleet_report.regions[i].report;
+    view.latency_histogram = &regions[i]->sim().latency_histogram();
+    view.base_penalty_ms = regions[i]->latency_penalty_ms();
+    view.penalty_at = [region = regions[i].get()](double start_s) {
+      return region->LatencyPenaltyAt(start_s);
+    };
+    views.push_back(std::move(view));
   }
+  AggregateFleetReport(views, params, calibration.energy_per_request_j,
+                       &fleet_report);
   // Not summed from the regions: with a shared store every controller
   // reports the store-wide counter, and summing would multiply it by N.
   fleet.cache_hits = fleet_controller.total_cache_hits();
-  fleet.weighted_accuracy =
-      fleet.completions
-          ? fleet.weighted_accuracy / static_cast<double>(fleet.completions)
-          : 0.0;
-  fleet.carbon_per_request_g =
-      fleet.completions
-          ? fleet.total_carbon_g / static_cast<double>(fleet.completions)
-          : 0.0;
-  fleet.overall_p50_ms = merged_latency.Quantile(0.50);
-  fleet.overall_p95_ms = merged_latency.Quantile(0.95);
-  fleet.overall_p99_ms = merged_latency.Quantile(0.99);
-
-  // Fleet windows: index-aligned aggregation (regions close windows on the
-  // same control-interval boundaries). The window p95 approximates the
-  // merged distribution by one point mass per region at its p95 (plus its
-  // network penalty): walking the masses from slowest down, the 95th
-  // percentile is the first value with more than 5% of the completions at
-  // or above it. This handles both failure modes of simpler rules — a
-  // 3-request region cannot claim the fleet tail (a plain max would), yet
-  // several small slow regions whose combined mass straddles the 95% rank
-  // still do. max_ms stays the true maximum.
-  if (window_count == std::numeric_limits<std::size_t>::max())
-    window_count = 0;
-  std::uint64_t slo_windows = 0, counted_windows = 0;
-  std::vector<std::pair<double, std::uint64_t>> tail_masses;  // (value, n)
-  for (std::size_t w = 0; w < window_count; ++w) {
-    sim::WindowRecord window;
-    double mean_weighted = 0.0, accuracy_weighted = 0.0, ci_energy = 0.0;
-    tail_masses.clear();
-    for (std::size_t i = 0; i < regions.size(); ++i) {
-      const sim::WindowRecord& region_window =
-          fleet_report.regions[i].report.windows[w];
-      // Penalty as of this window's start: an active RTT spike shifts the
-      // window's latency contribution (the run-level merged histogram keeps
-      // the base penalty — spikes are windowed events, run quantiles are a
-      // whole-run summary).
-      const double penalty =
-          regions[i]->LatencyPenaltyAt(region_window.start_s);
-      window.start_s = region_window.start_s;
-      window.duration_s = region_window.duration_s;
-      window.arrivals += region_window.arrivals;
-      window.completions += region_window.completions;
-      window.energy_j += region_window.energy_j;
-      window.carbon_g += region_window.carbon_g;
-      if (region_window.completions > 0) {
-        tail_masses.emplace_back(region_window.p95_ms + penalty,
-                                 region_window.completions);
-        window.max_ms = std::max(window.max_ms,
-                                 region_window.max_ms + penalty);
-        mean_weighted += (region_window.mean_ms + penalty) *
-                         static_cast<double>(region_window.completions);
-        accuracy_weighted += region_window.weighted_accuracy *
-                             static_cast<double>(region_window.completions);
-      }
-      ci_energy += region_window.ci * region_window.energy_j;
-    }
-    std::sort(tail_masses.begin(), tail_masses.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
-    std::uint64_t mass_above = 0;
-    for (const auto& [value, count] : tail_masses) {
-      mass_above += count;
-      if (static_cast<double>(mass_above) >
-          0.05 * static_cast<double>(window.completions)) {
-        window.p95_ms = value;
-        break;
-      }
-    }
-    window.mean_ms = window.completions
-                         ? mean_weighted /
-                               static_cast<double>(window.completions)
-                         : 0.0;
-    window.weighted_accuracy =
-        window.completions ? accuracy_weighted /
-                                 static_cast<double>(window.completions)
-                           : 0.0;
-    // Blended intensity: energy-weighted mean over regions.
-    window.ci = window.energy_j > 0.0 ? ci_energy / window.energy_j : 0.0;
-    if (window.completions > 0) {
-      ++counted_windows;
-      if (window.p95_ms <= fleet_report.slo_budget_ms) ++slo_windows;
-    }
-    fleet.windows.push_back(window);
-
-    opt::EvalMetrics metrics;
-    metrics.accuracy = window.weighted_accuracy;
-    metrics.energy_per_request_j =
-        window.completions
-            ? window.energy_j / static_cast<double>(window.completions)
-            : calibration.energy_per_request_j;
-    metrics.p95_ms = window.p95_ms;
-    fleet.objective_series.push_back(
-        opt::ObjectiveF(metrics, params, window.ci));
-  }
-  fleet_report.slo_attainment =
-      counted_windows ? static_cast<double>(slo_windows) /
-                            static_cast<double>(counted_windows)
-                      : 0.0;
 
   fleet.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

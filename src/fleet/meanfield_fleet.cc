@@ -1,0 +1,217 @@
+#include "fleet/meanfield_fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "core/harness.h"
+#include "fleet/aggregate.h"
+#include "perf/calibration.h"
+#include "serving/deployment.h"
+#include "sim/arrivals.h"
+#include "sim/meanfield.h"
+
+namespace clover::fleet {
+namespace {
+
+// The fluid analogue of Region: owns the trace and the mean-field
+// simulator (which keeps a pointer into the trace), heap-pinned for the
+// same reason. No controller, no fault machinery — the fluid tier rejects
+// both up front.
+struct MeanFieldRegion {
+  MeanFieldRegion(const RegionConfig& region_config,
+                  carbon::CarbonTrace region_trace,
+                  serving::Deployment initial, const models::ModelZoo& zoo,
+                  const sim::SimOptions& sim_options)
+      : config(region_config),
+        trace(std::move(region_trace)),
+        sim(std::make_unique<sim::MeanFieldSim>(initial, zoo, &trace,
+                                                sim_options)),
+        assigned_qps(sim_options.arrival_rate_qps) {}
+
+  RegionConfig config;
+  carbon::CarbonTrace trace;
+  std::unique_ptr<sim::MeanFieldSim> sim;
+  double assigned_qps = 0.0;
+
+  bool OnlineAt(double t) const {
+    return !config.HasOutage() || t < config.outage_start_s ||
+           t >= config.outage_end_s;
+  }
+
+  RegionSnapshot Snapshot(double t) const {
+    RegionSnapshot snapshot;
+    snapshot.name = config.preset.name;
+    snapshot.online = OnlineAt(t);
+    snapshot.ci = trace.At(t);
+    // No fail-stops in the fluid tier, so nominal capacity is the real
+    // capacity (Region derates by the online-GPU fraction here).
+    snapshot.capacity_qps = sim->capacity_qps();
+    snapshot.assigned_qps = assigned_qps;
+    snapshot.queue_depth = sim->backlog();
+    snapshot.latency_penalty_ms = config.latency_penalty_ms;
+    snapshot.static_weight = config.static_weight;
+    return snapshot;
+  }
+};
+
+}  // namespace
+
+FleetReport RunFleetMeanField(const FleetConfig& config,
+                              const models::ModelZoo& zoo) {
+  CLOVER_CHECK_MSG(!config.regions.empty(), "fleet needs >= 1 region");
+  CLOVER_CHECK(config.duration_hours > 0.0);
+  CLOVER_CHECK(config.control_interval_s > 0.0);
+  CLOVER_CHECK_MSG(config.scheme == core::Scheme::kBase,
+                   "mean-field fleet runs static schemes only (adaptive "
+                   "schemes need the per-region controller, whose "
+                   "evaluations are discrete-event runs)");
+  for (const RegionConfig& region : config.regions)
+    CLOVER_CHECK_MSG(region.faults.Empty(),
+                     "mean-field fleet does not model region faults");
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Identical calibration to RunFleet: the SLA and C_base anchor on the
+  // discrete-event BASE run, so both tiers are judged against the same
+  // yardstick (and the differential tests compare like with like).
+  core::ExperimentHarness harness(&zoo);
+  const core::BaselineCalibration& calibration =
+      harness.Calibrate(config.app, config.regions[0].num_gpus,
+                        /*utilization_target=*/0.75, std::nullopt,
+                        config.seed);
+
+  opt::ObjectiveParams params;
+  params.lambda = config.lambda;
+  params.a_base = calibration.a_base;
+  params.c_base_g = CarbonGrams(calibration.energy_per_request_j,
+                                config.ci_base, perf::kPue);
+  params.l_tail_ms = calibration.l_tail_ms;
+  params.pue = perf::kPue;
+
+  const double total_qps = config.total_qps.value_or([&] {
+    double total = 0.0;
+    for (const RegionConfig& region : config.regions)
+      total += sim::SizeArrivalRate(zoo, config.app, region.num_gpus,
+                                    config.utilization_target);
+    return total;
+  }());
+  CLOVER_CHECK(total_qps > 0.0);
+
+  // Regions: same trace seeds and the same uniform bootstrap split as the
+  // discrete-event path, so the two tiers see the same carbon signal.
+  std::vector<std::unique_ptr<MeanFieldRegion>> regions;
+  regions.reserve(config.regions.size());
+  carbon::TraceGeneratorOptions trace_options;
+  trace_options.duration_hours = config.duration_hours;
+  trace_options.seed = config.seed + 41;  // independent of simulation streams
+  for (std::size_t i = 0; i < config.regions.size(); ++i) {
+    const RegionConfig& region_config = config.regions[i];
+    CLOVER_CHECK_MSG(!region_config.preset.name.empty(),
+                     "region needs a name");
+    sim::SimOptions sim_options;
+    sim_options.arrival_rate_qps =
+        total_qps / static_cast<double>(config.regions.size());
+    sim_options.window_seconds = config.control_interval_s;
+    sim_options.seed = RegionSeed(config.seed, i);  // unused by the fluid
+                                                    // tier; kept for parity
+    regions.push_back(std::make_unique<MeanFieldRegion>(
+        region_config,
+        carbon::GenerateRegionTrace(region_config.preset, trace_options),
+        serving::MakeBase(config.app, region_config.num_gpus), zoo,
+        sim_options));
+  }
+
+  std::unique_ptr<Router> router = MakeRouter(config.router);
+  RouterOptions router_options = config.router_options;
+  if (router_options.slo_budget_ms <= 0.0)
+    router_options.slo_budget_ms =
+        config.slo_budget_factor * params.l_tail_ms;
+
+  std::vector<std::vector<double>> weight_history;
+  const auto rebalance = [&](double t) {
+    std::vector<RegionSnapshot> snapshots;
+    snapshots.reserve(regions.size());
+    for (const auto& region : regions) snapshots.push_back(region->Snapshot(t));
+    const std::vector<double> weights =
+        router->Split(snapshots, total_qps, router_options);
+    CLOVER_CHECK(weights.size() == regions.size());
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+      regions[i]->assigned_qps = weights[i] * total_qps;
+      regions[i]->sim->SetArrivalRate(regions[i]->assigned_qps);
+    }
+    weight_history.push_back(weights);
+  };
+
+  // Control loop: the same boundaries as FleetController (initial split at
+  // t = 0, then advance + rebalance per interval). The fluid tier never
+  // overruns a boundary — there are no optimizer evaluations to charge.
+  rebalance(0.0);
+  const double duration_s = HoursToSeconds(config.duration_hours);
+  for (double t = config.control_interval_s; t <= duration_s + 1e-9;
+       t += config.control_interval_s) {
+    const double target = std::min(t, duration_s);
+    for (auto& region : regions)
+      if (target > region->sim->now()) region->sim->AdvanceTo(target);
+    rebalance(target);
+  }
+  for (auto& region : regions)
+    if (duration_s > region->sim->now()) region->sim->AdvanceTo(duration_s);
+
+  // ---- Reports ---- (the same assembly as RunFleet, minus controllers)
+  FleetReport fleet_report;
+  fleet_report.router_name = router->name();
+  fleet_report.total_qps = total_qps;
+  fleet_report.slo_budget_ms = router_options.slo_budget_ms;
+  fleet_report.weight_history = std::move(weight_history);
+
+  std::vector<double> mean_weights(regions.size(), 0.0);
+  for (const std::vector<double>& weights : fleet_report.weight_history)
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      mean_weights[i] += weights[i];
+  for (double& w : mean_weights)
+    w /= static_cast<double>(fleet_report.weight_history.size());
+
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    RegionReport region_report;
+    region_report.name = regions[i]->config.preset.name;
+    region_report.latency_penalty_ms = regions[i]->config.latency_penalty_ms;
+    region_report.mean_weight = mean_weights[i];
+    region_report.report.app = config.app;
+    region_report.report.scheme = config.scheme;
+    region_report.report.params = params;
+    core::FillRunReportFromSim(*regions[i]->sim, params,
+                               calibration.energy_per_request_j,
+                               &region_report.report);
+    region_report.report.arrival_rate_qps = mean_weights[i] * total_qps;
+    fleet_report.regions.push_back(std::move(region_report));
+  }
+
+  core::RunReport& fleet = fleet_report.fleet;
+  fleet.app = config.app;
+  fleet.scheme = config.scheme;
+  fleet.arrival_rate_qps = total_qps;
+  fleet.params = params;
+  std::vector<RegionAggregateView> views;
+  views.reserve(regions.size());
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    RegionAggregateView view;
+    view.report = &fleet_report.regions[i].report;
+    view.latency_histogram = &regions[i]->sim->latency_histogram();
+    view.base_penalty_ms = regions[i]->config.latency_penalty_ms;
+    views.push_back(std::move(view));
+  }
+  AggregateFleetReport(views, params, calibration.energy_per_request_j,
+                       &fleet_report);
+
+  fleet.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return fleet_report;
+}
+
+}  // namespace clover::fleet

@@ -1,0 +1,67 @@
+#include "opt/meanfield_eval.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "mig/slice_type.h"
+#include "perf/perf_model.h"
+#include "power/power_model.h"
+
+namespace clover::opt {
+
+MeanFieldEvaluator::MeanFieldEvaluator(const models::ModelZoo* zoo,
+                                       int num_gpus, const Options& options)
+    : zoo_(zoo), num_gpus_(num_gpus), options_(options) {
+  CLOVER_CHECK(zoo_ != nullptr);
+  CLOVER_CHECK(num_gpus_ > 0 && options_.arrival_rate_qps > 0.0);
+  CLOVER_CHECK(options_.horizon_s > 0.0);
+}
+
+EvalOutcome MeanFieldEvaluator::Evaluate(const graph::ConfigGraph& graph) {
+  const models::ModelFamily& family = zoo_->ForApplication(graph.app());
+
+  // Collapse the graph straight into mean-field classes (one per occupied
+  // (variant, slice-type) pair); no Deployment needs to materialize.
+  std::vector<sim::MeanFieldClass> classes;
+  for (int v = 0; v < graph.num_variants(); ++v) {
+    const models::ModelVariant& variant = family.Variant(v);
+    for (mig::SliceType slice : mig::kAllSliceTypes) {
+      const int count = graph.Weight(v, slice);
+      if (count == 0) continue;
+      sim::MeanFieldClass cls;
+      cls.service_ms = perf::PerfModel::LatencyMs(family, variant, slice);
+      cls.dynamic_watts = power::PowerModel::DynamicWatts(variant, slice);
+      cls.accuracy = variant.accuracy;
+      cls.count = count;
+      classes.push_back(cls);
+    }
+  }
+  CLOVER_CHECK(!classes.empty());
+
+  sim::SimOptions sim_options;
+  sim_options.arrival_rate_qps = options_.arrival_rate_qps;
+  sim_options.window_seconds = options_.horizon_s;
+  sim_options.service_model = options_.service_model;
+  sim_options.service_jitter_sigma = options_.service_jitter_sigma;
+  // No trace: the evaluator quotes (A, E, L); carbon weighting happens in
+  // the objective with the caller's CI.
+  sim::MeanFieldSim fluid(std::move(classes), num_gpus_, nullptr,
+                          sim_options);
+  fluid.AdvanceTo(options_.horizon_s);
+  CLOVER_CHECK(!fluid.windows().empty());
+  const sim::WindowRecord& window = fluid.windows().back();
+
+  EvalOutcome outcome;
+  outcome.metrics.accuracy = window.weighted_accuracy;
+  outcome.metrics.p95_ms = window.p95_ms;
+  outcome.metrics.energy_per_request_j =
+      window.completions > 0
+          ? window.energy_j / static_cast<double>(window.completions)
+          : 1e9;  // served nothing over a whole horizon: infeasible
+  outcome.sla_ok = options_.l_tail_ms <= 0.0 ||
+                   (window.completions > 0 &&
+                    outcome.metrics.p95_ms <= options_.l_tail_ms);
+  return outcome;
+}
+
+}  // namespace clover::opt

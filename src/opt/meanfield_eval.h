@@ -1,0 +1,55 @@
+// Mean-field evaluator: the middle rung of the optimizer's fidelity ladder.
+//
+//   surrogate (opt/surrogate.h)  closed-form steady state, no dynamics
+//   mean-field (THIS)            fluid dynamics over a short horizon
+//   replay (opt/evaluator.h)     discrete-event simulation of the candidate
+//
+// The surrogate answers "what is this configuration's steady state at rate
+// lambda"; the mean-field evaluator answers the slightly harder question
+// "what does this configuration do over the next control horizon", which
+// differs exactly when the horizon is NOT steady: an overloaded candidate
+// accumulates backlog mass and is quoted a finite, backlog-dependent tail
+// instead of the surrogate's infeasibility sentinel — so candidates that
+// fail are still *ranked* by how badly they fail. Under a stable load the
+// two tiers quote the same steady-state latency (both call the
+// sim/analytic.h oracles with the same aggregate M/M/c), which
+// tests/meanfield_test.cc pins.
+//
+// Evaluate is pure (a function of the graph alone; the fluid run is
+// deterministic arithmetic, no RNG), so the evaluator composes with
+// ParallelBatchEvaluator under the bit-identity contract.
+#pragma once
+
+#include "graph/config_graph.h"
+#include "models/zoo.h"
+#include "opt/evaluator.h"
+#include "perf/calibration.h"
+#include "sim/cluster_sim.h"
+#include "sim/meanfield.h"
+
+namespace clover::opt {
+
+class MeanFieldEvaluator : public Evaluator {
+ public:
+  struct Options {
+    double arrival_rate_qps = 100.0;
+    double l_tail_ms = 0.0;  // SLA for the sla_ok verdict
+    // Fluid horizon per evaluation; one control window by default, so one
+    // WindowRecord decides the metrics.
+    double horizon_s = 300.0;
+    sim::ServiceModel service_model = sim::ServiceModel::kJittered;
+    double service_jitter_sigma = perf::kServiceJitterSigma;
+  };
+
+  MeanFieldEvaluator(const models::ModelZoo* zoo, int num_gpus,
+                     const Options& options);
+
+  EvalOutcome Evaluate(const graph::ConfigGraph& graph) override;
+
+ private:
+  const models::ModelZoo* zoo_;
+  int num_gpus_;
+  Options options_;
+};
+
+}  // namespace clover::opt

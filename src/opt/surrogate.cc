@@ -11,52 +11,14 @@
 #include "power/power_model.h"
 
 namespace clover::opt {
-namespace {
-
-// P(Wq + S > t) for a stable M/M/c FIFO queue: Wq is 0 with probability
-// 1 - C and Exp(theta) with probability C (theta = c mu - lambda); S is
-// Exp(mu) independent. Closed form for the convolution, with the repeated-
-// rate limit handled explicitly.
-double SojournCcdf(double t, double mu, double theta, double wait_prob) {
-  if (t <= 0.0) return 1.0;
-  const double no_wait = (1.0 - wait_prob) * std::exp(-mu * t);
-  double waited;
-  if (std::abs(theta - mu) > 1e-9 * mu) {
-    waited = wait_prob *
-             (theta * std::exp(-mu * t) - mu * std::exp(-theta * t)) /
-             (theta - mu);
-  } else {
-    waited = wait_prob * (1.0 + mu * t) * std::exp(-mu * t);
-  }
-  return no_wait + waited;
-}
-
-}  // namespace
 
 double SurrogateEvaluator::MmcSojournQuantile(
     const sim::analytic::MmcConfig& config, double q) {
-  CLOVER_CHECK(q >= 0.0 && q < 1.0);
-  const sim::analytic::MmcMetrics metrics = sim::analytic::AnalyzeMmc(config);
-  const double mu = config.service_rate;
-  const double theta =
-      static_cast<double>(config.servers) * mu - config.arrival_rate;
-  const double target = 1.0 - q;  // solve ccdf(t) = 1 - q
-
-  // Bracket: the ccdf is continuous and strictly decreasing from 1 to 0.
-  double hi = 1.0 / mu;
-  while (SojournCcdf(hi, mu, theta, metrics.wait_probability) > target)
-    hi *= 2.0;
-  double lo = 0.0;
-  for (int i = 0; i < 200; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (SojournCcdf(mid, mu, theta, metrics.wait_probability) > target) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-    if (hi - lo <= 1e-12 * hi) break;
-  }
-  return 0.5 * (lo + hi);
+  // The closed-form CCDF bisection lives with the other queueing oracles in
+  // sim/analytic so the mean-field fidelity tier (sim/meanfield.h) can quote
+  // the same p95 without a dependency on opt/. This wrapper keeps the
+  // historical API (and its tests) stable.
+  return sim::analytic::MmcSojournQuantile(config, q);
 }
 
 SurrogateEvaluator::Options SurrogateEvaluator::FromReplay(

@@ -63,6 +63,14 @@ std::vector<double> MmcQueueLengthPmf(const MmcConfig& config, int max_n);
 // so quantiles below 1 - C are 0 (served immediately).
 double MmcWaitQuantile(const MmcConfig& config, double q);
 
+// Quantile of the sojourn time T = Wq + S (wait plus exponential service).
+// The CCDF is the closed-form convolution of the Erlang-C wait with an
+// Exp(mu) service time; the quantile is found by bisection on that CCDF.
+// Shared ground truth for the surrogate screen (opt/surrogate.h) and the
+// mean-field fidelity tier (sim/meanfield.h), so both tiers quote the same
+// p95 for the same aggregate M/M/c and differ only in their dynamics.
+double MmcSojournQuantile(const MmcConfig& config, double q);
+
 // ---------------------------------------------------------------------------
 // M/M/c/K: at most `capacity` customers in the system (c in service,
 // capacity - c waiting); arrivals finding the system full are lost.

@@ -47,13 +47,26 @@ void PoissonArrivals::ResetRate(double qps, double from_t) {
   next_time_ = AdvanceFrom(from_t);
 }
 
+double PoissonArrivals::NextUnitGap() {
+  if (gap_pos_ == kGapBatchSize) {
+    // Tight refill loop: the batch consumes exactly kGapBatchSize uniforms
+    // in draw order, so the sequence of gaps is the sequence a lazy caller
+    // would have drawn one at a time.
+    for (double& gap : gaps_) gap = rng_.NextUnitExponential();
+    gap_pos_ = 0;
+  }
+  return gaps_[gap_pos_++];
+}
+
 double PoissonArrivals::AdvanceFrom(double t) {
   // A silenced stream (rate 0) produces no arrivals and consumes no draws;
   // an infinite `t` (the pending arrival of a silenced stream) stays
   // infinite rather than spinning the phase loop.
   if (rate_qps_ <= 0.0 || !std::isfinite(t))
     return std::numeric_limits<double>::infinity();
-  if (!burst_.enabled()) return t + rng_.NextExponential(rate_qps_);
+  // Non-burst: consume a pre-drawn unit gap and scale by the current rate —
+  // bit-identical to rng_.NextExponential(rate_qps_) (see kGapBatchSize).
+  if (!burst_.enabled()) return t + NextUnitGap() / rate_qps_;
   for (;;) {
     const double rate =
         in_burst_ ? rate_qps_ * burst_.rate_multiplier : rate_qps_;

@@ -30,6 +30,16 @@ struct BurstOptions {
 
 class PoissonArrivals {
  public:
+  // Number of unit-exponential inter-arrival gaps pre-drawn per batch refill
+  // in the unmodulated (non-burst) mode. Batching is bit-identical to
+  // drawing lazily: the same uniforms are consumed in the same order, stored
+  // as unit gaps, and divided by the rate in effect at consumption time —
+  // RngStream::NextUnitExponential() guarantees the division equivalence.
+  // Burst mode interleaves phase-boundary draws on the same stream, so it
+  // keeps the lazy path. (Tests exercise both paths against a scalar
+  // reference; see hotpath_test.cc.)
+  static constexpr int kGapBatchSize = 256;
+
   PoissonArrivals(double rate_qps, std::uint64_t seed,
                   const BurstOptions& burst = {});
 
@@ -52,12 +62,17 @@ class PoissonArrivals {
   // machine across burst/quiet boundaries (exact by memorylessness).
   double AdvanceFrom(double t);
 
+  // Next pre-drawn unit-exponential gap, refilling the batch when empty.
+  double NextUnitGap();
+
   double rate_qps_;
   BurstOptions burst_;
   bool in_burst_ = false;
   double phase_end_ = 0.0;  // time the current phase flips (burst mode only)
   double next_time_ = 0.0;
   RngStream rng_;
+  int gap_pos_ = kGapBatchSize;  // == kGapBatchSize means "batch exhausted"
+  double gaps_[kGapBatchSize];   // pre-drawn unit gaps (non-burst mode only)
 };
 
 // The BASE-utilization sizing rule: rate such that `num_gpus` unpartitioned

@@ -174,17 +174,24 @@ void ClusterSim::AdvanceTo(double t) {
   // semantics are identical to ProcessOneEvent (which ApplyDeployment's
   // drain loop still uses): a window closes before any event at or past its
   // end, and ties break fault <= arrival <= completion.
+  //
+  // `window_end` and `next_fault` change only at a window close / fault
+  // dispatch respectively, so they are hoisted out of the per-event loop
+  // and refreshed at exactly those points (a fault transition can also
+  // silence or restart the arrival stream, but pending_arrival_ is a
+  // member re-read each iteration, so no refresh is needed for it).
+  double window_end = window_start_ + options_.window_seconds;
+  double next_fault = NextFaultTime();
   for (;;) {
-    const double window_end = window_start_ + options_.window_seconds;
-    const double next_fault = NextFaultTime();
     const double next_heap = events_.Empty()
                                  ? std::numeric_limits<double>::infinity()
-                                 : events_.Top().time;
+                                 : events_.TopTime();
     const double next_event =
         std::min(std::min(pending_arrival_, next_fault), next_heap);
     if (std::min(t, next_event) >= window_end) {
       now_ = window_end;
       CloseWindow();
+      window_end = window_start_ + options_.window_seconds;
       continue;
     }
     if (next_event > t) {
@@ -194,6 +201,7 @@ void ClusterSim::AdvanceTo(double t) {
     if (next_fault <= pending_arrival_ && next_fault <= next_heap) {
       now_ = next_fault;
       ApplyFaultTransition(fault_transitions_[next_fault_++]);
+      next_fault = NextFaultTime();
     } else if (pending_arrival_ <= next_heap) {
       const double arrival = pending_arrival_;
       pending_arrival_ = arrivals_.NextArrivalTime();
@@ -254,6 +262,9 @@ void ClusterSim::CloseWindow() {
   windows_.push_back(record);
   window_acc_.Reset();
   window_start_ = window_end;
+  // Window edges are the arena epoch: every transient handed out since the
+  // previous close (fault retry batches, reconfig masks) is dead by now.
+  arena_.Reset();
   // Window close is the sim's own boundary (per-event counters would blow
   // the enabled-but-idle overhead budget; a window covers ~1e5 events).
   CLOVER_OBS_COUNT("sim.windows_closed", 1);
@@ -342,7 +353,7 @@ void ClusterSim::StartService(std::size_t position, double enqueue_time) {
     // Truncated multiplicative jitter: inputs vary (image content, sequence
     // length) but service time never goes negative or explodes.
     const double sigma = options_.service_jitter_sigma;
-    double jitter = 1.0 + sigma * jitter_rng_.NextGaussian();
+    double jitter = 1.0 + sigma * jitter_rng_.NextGaussianFast();
     jitter = std::clamp(jitter, 1.0 - 3.0 * sigma, 1.0 + 3.0 * sigma);
     service_s = MsToSeconds(instance.base_service_ms * jitter);
   }
@@ -371,9 +382,11 @@ double ClusterSim::ApplyDeployment(const serving::Deployment& next,
       serving::PlanReconfiguration(deployment_, next, *zoo_, cost);
   if (plan.Empty()) return now_;
 
-  std::vector<bool> affected(static_cast<std::size_t>(deployment_.NumGpus()),
-                             false);
-  std::vector<double> offline_s(static_cast<std::size_t>(next.NumGpus()), 0.0);
+  const auto num_gpus = static_cast<std::size_t>(deployment_.NumGpus());
+  bool* affected = arena_.AllocateArray<bool>(num_gpus);
+  double* offline_s = arena_.AllocateArray<double>(num_gpus);
+  std::fill(affected, affected + num_gpus, false);
+  std::fill(offline_s, offline_s + num_gpus, 0.0);
   for (const serving::GpuReconfigPlan& gpu : plan.gpus) {
     affected[static_cast<std::size_t>(gpu.gpu_index)] = true;
     offline_s[static_cast<std::size_t>(gpu.gpu_index)] = gpu.offline_seconds;
@@ -501,14 +514,15 @@ void ClusterSim::FailGpu(int gpu_index) {
   // completion) is refunded; work performed up to the failure stays
   // billed. The instance's id is retired so the stale completion event
   // still in the heap is swallowed when it fires.
-  std::vector<double> retried;
+  double* retried = arena_.AllocateArray<double>(instances_.size());
+  std::size_t num_retried = 0;
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     SimInstance& instance = instances_[i];
     if (instance.gpu_index != gpu_index) continue;
     ClearAvailable(index_to_position_[i]);
     if (!instance.busy) continue;
     instance.busy = false;
-    retried.push_back(instance.service_enqueue_time);
+    retried[num_retried++] = instance.service_enqueue_time;
     const double unserved_s = instance.service_end_s - now_;
     meter_.RefundBusy(unserved_s, instance.dynamic_watts);
     if (probe_active_) probe_dynamic_j_ -= unserved_s * instance.dynamic_watts;
@@ -523,9 +537,9 @@ void ClusterSim::FailGpu(int gpu_index) {
   }
   // Newest first, so the oldest enqueue time ends up at the queue head and
   // FIFO order is preserved across the retry.
-  std::sort(retried.begin(), retried.end(),
+  std::sort(retried, retried + num_retried,
             [](double a, double b) { return a > b; });
-  for (double enqueue_time : retried) queue_.push_front(enqueue_time);
+  for (std::size_t i = 0; i < num_retried; ++i) queue_.push_front(retried[i]);
   // The survivors pick the backlog up immediately: without this dispatch
   // the queue would starve until the next completion/wake even with idle
   // capacity elsewhere.

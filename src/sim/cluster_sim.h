@@ -22,6 +22,7 @@
 
 #include "carbon/accountant.h"
 #include "carbon/trace.h"
+#include "common/arena.h"
 #include "common/quantile.h"
 #include "common/rng.h"
 #include "perf/calibration.h"
@@ -241,6 +242,9 @@ class ClusterSim {
 
   double now_ = 0.0;
   double window_start_ = 0.0;
+  // Bump arena for transients whose lifetime never crosses a window edge
+  // (fault retry batches, reconfiguration masks); Reset in CloseWindow.
+  Arena arena_;
   WindowAccumulator window_acc_;
   std::vector<WindowRecord> windows_;
   power::EnergyMeter meter_;

@@ -1,11 +1,16 @@
 // Windowed and run-level metric accumulators for the cluster simulator.
 //
 // AddCompletion runs once per simulated request — it is on the simulator's
-// hot path and is allocation-free: the embedded P² estimator reserves its
-// exact-mode buffer at construction and never grows it (common/quantile.h).
+// hot path. The accumulator buffers each window's latencies in a pooled
+// vector (capacity retained across Reset, so steady-state windows never
+// allocate) and computes the exact nearest-rank p95 once, at window close —
+// one O(n) nth_element per window instead of a P² marker update per sample.
+// Memory is bounded by the busiest window seen (~8 bytes per completion).
 // Accumulators are owned by a single ClusterSim and are not synchronized.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -14,17 +19,15 @@
 namespace clover::sim {
 
 // Accumulates completions within one metrics window (or one measurement
-// probe). O(1) memory: p95 via the P² estimator.
+// probe). Exact nearest-rank p95 over the buffered window samples.
 class WindowAccumulator {
  public:
-  WindowAccumulator() : p95_(0.95) {}
-
   void AddCompletion(double latency_ms, double accuracy) {
     ++completions_;
     latency_sum_ms_ += latency_ms;
     if (latency_ms > max_ms_) max_ms_ = latency_ms;
     accuracy_sum_ += accuracy;
-    p95_.Add(latency_ms);
+    latencies_ms_.push_back(latency_ms);
   }
   void AddArrival() { ++arrivals_; }
 
@@ -34,9 +37,21 @@ class WindowAccumulator {
     return completions_ ? latency_sum_ms_ / static_cast<double>(completions_)
                         : 0.0;
   }
-  // Non-const: P2Quantile::Value sorts its exact-mode buffer in place, so
-  // a query on a shared accumulator is a write (common/quantile.h).
-  double p95_ms() { return p95_.Value(); }
+  // Exact nearest-rank p95 (the ceil(0.95*n)-th order statistic, matching
+  // ExactQuantile). Non-const: partially sorts the sample buffer in place,
+  // so a query on a shared accumulator is a write. Called once per window
+  // close / probe end.
+  double p95_ms() {
+    if (latencies_ms_.empty()) return 0.0;
+    const std::size_t n = latencies_ms_.size();
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    if (rank > n) rank = n;
+    auto nth = latencies_ms_.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+    std::nth_element(latencies_ms_.begin(), nth, latencies_ms_.end());
+    return *nth;
+  }
   double max_ms() const { return max_ms_; }
   double weighted_accuracy() const {
     return completions_ ? accuracy_sum_ / static_cast<double>(completions_)
@@ -50,7 +65,7 @@ class WindowAccumulator {
     latency_sum_ms_ = 0.0;
     max_ms_ = 0.0;
     accuracy_sum_ = 0.0;
-    p95_.Reset();
+    latencies_ms_.clear();  // keeps capacity (pooled storage)
   }
 
  private:
@@ -59,7 +74,7 @@ class WindowAccumulator {
   double latency_sum_ms_ = 0.0;
   double max_ms_ = 0.0;
   double accuracy_sum_ = 0.0;
-  P2Quantile p95_;
+  std::vector<double> latencies_ms_;
 };
 
 // One closed metrics window of the simulation.

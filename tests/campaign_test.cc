@@ -146,6 +146,80 @@ TEST(CampaignSpecTest, ScreenAxisExpandsEncodesAndPlumbs) {
   }
 }
 
+TEST(CampaignSpecTest, FidelityAndReplicaAxesExpandEncodeAndValidate) {
+  const CampaignSpec spec = ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "fluid",
+    "mode": "fleet",
+    "grid": {
+      "scheme": "base",
+      "app": "classification",
+      "regions": [["us-west", "us-east"]],
+      "router": "static",
+      "fidelity": ["sim", "meanfield"],
+      "region_replicas": [1, 3],
+      "gpus": 2,
+      "hours": 1
+    }
+  })");
+  ASSERT_EQ(spec.cells.size(), 4u);
+  // Fixed axis order: replicas outside fidelity; suffixes only when the
+  // value departs from the default, so plain sim/r1 names stay stable.
+  EXPECT_EQ(spec.cells[0].Name(),
+            "fleet-base-classification-static-us-west+us-east-g2-h1-s1");
+  EXPECT_EQ(spec.cells[1].Name(),
+            "fleet-base-classification-static-us-west+us-east-g2-h1-s1-mf");
+  EXPECT_EQ(spec.cells[2].Name(),
+            "fleet-base-classification-static-us-west+us-east-g2-h1-s1-r3");
+  EXPECT_EQ(spec.cells[3].Name(),
+            "fleet-base-classification-static-us-west+us-east-g2-h1-s1-r3-mf");
+  EXPECT_FALSE(spec.cells[0].meanfield);
+  EXPECT_TRUE(spec.cells[1].meanfield);
+  EXPECT_EQ(spec.cells[3].region_replicas, 3);
+
+  // The fluid tier runs static schemes only: meanfield x clover would be
+  // an invalid cell, so the cross product is rejected at parse time.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "mode": "fleet",
+    "grid": {"scheme": ["base", "clover"], "app": "classification",
+             "regions": [["us-west"]], "fidelity": "meanfield"}
+  })"),
+               JsonParseError);
+  // Unknown fidelity token.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "mode": "fleet",
+    "grid": {"scheme": "base", "app": "classification",
+             "regions": [["us-west"]], "fidelity": "fluid"}
+  })"),
+               JsonParseError);
+  // Both are fleet-only axes in single-cluster mode.
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "grid": {"scheme": "base", "app": "language", "fidelity": "meanfield"}
+  })"),
+               JsonParseError);
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "grid": {"scheme": "base", "app": "language", "region_replicas": 4}
+  })"),
+               JsonParseError);
+  // Replica counts are bounded (1..512).
+  EXPECT_THROW(ParseSpecText(R"({
+    "schema": "clover-campaign-v1",
+    "name": "bad",
+    "mode": "fleet",
+    "grid": {"scheme": "base", "app": "classification",
+             "regions": [["us-west"]], "region_replicas": 513}
+  })"),
+               JsonParseError);
+}
+
 TEST(CampaignSpecTest, FaultProfileKnobsAreBounded) {
   // Regression for the fault-profile validation fix: the parse layer must
   // reject out-of-range rates/means/multipliers with line/column context
